@@ -1,0 +1,518 @@
+(* The o2 command-line driver.
+
+   o2 analyze FILE.cir [--policy P] [--naive] [--json] [--stats] ...
+   o2 osa FILE.cir               origin-sharing report
+   o2 shb FILE.cir               dump the SHB graph
+   o2 racerd FILE.cir            the syntactic baseline
+   o2 deadlock FILE.cir          lock-order cycles
+   o2 oversync FILE.cir          removable locks
+   o2 pts FILE.cir C.m.v         points-to query
+   o2 dot FILE.cir -g KIND      Graphviz (shb | origins | callgraph)
+   o2 origins FILE.cir           entry points + attributes (Figure 2 view)
+   o2 diff OLD.cir NEW.cir       differential report (exit 2 on regressions)
+   o2 android APP.cir            lifecycle harness for main-less apps (4.2)
+   o2 run FILE.cir [--seed N] [--dynamic] [--trace]
+   o2 explore FILE.cir           systematic schedule DFS (+ POR)
+   o2 dump FILE.cir              parse + pretty-print
+   o2 model [NAME] [--fixed]     built-in Table 10 race models            *)
+
+open Cmdliner
+
+let policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "0-ctx" | "0ctx" | "insensitive" -> Ok O2_pta.Context.Insensitive
+    | "o2" | "origin" | "1-origin" -> Ok (O2_pta.Context.Korigin 1)
+    | s -> (
+        let bad = Error (`Msg ("bad policy: " ^ s)) in
+        match String.split_on_char '-' s with
+        | [ k; kind ] -> (
+            match (int_of_string_opt k, kind) with
+            | Some k, "cfa" -> Ok (O2_pta.Context.Kcfa k)
+            | Some k, "obj" -> Ok (O2_pta.Context.Kobj k)
+            | Some k, "origin" -> Ok (O2_pta.Context.Korigin k)
+            | _ -> bad)
+        | _ -> bad)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (O2_pta.Context.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CIR source file")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv (O2_pta.Context.Korigin 1)
+    & info [ "policy"; "p" ] ~docv:"POLICY"
+        ~doc:
+          "Pointer-analysis policy: o2 (default), 0-ctx, $(i,k)-cfa, \
+           $(i,k)-obj, $(i,k)-origin.")
+
+let serial_arg =
+  Arg.(
+    value & flag
+    & info [ "no-serial-events" ]
+        ~doc:
+          "Do not serialize event handlers under the implicit dispatcher \
+           lock (§4.2 treats Android events as dispatched by one thread).")
+
+let load file = O2_frontend.Parser.parse_file file
+
+let handle_errors f =
+  try f () with
+  | O2_frontend.Parser.Parse_error (msg, line) ->
+      Printf.eprintf "parse error at line %d: %s\n" line msg;
+      exit 1
+  | O2_frontend.Lexer.Lex_error (msg, line) ->
+      Printf.eprintf "lexical error at line %d: %s\n" line msg;
+      exit 1
+  | O2_ir.Program.Ill_formed msg ->
+      Printf.eprintf "ill-formed program: %s\n" msg;
+      exit 1
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ] ~doc:"Use the unoptimized pairwise-DFS detector.")
+  in
+  let no_region =
+    Arg.(
+      value & flag
+      & info [ "no-lock-region" ] ~doc:"Disable lock-region access merging.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the race report as JSON on stdout.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Also print origin count and wall-clock analysis time.")
+  in
+  let run file policy no_serial naive no_region json stats =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let serial_events = not no_serial in
+    if naive then begin
+      let a, g, report = O2_race.Naive.analyze ~policy ~serial_events p in
+      if json then print_endline (O2_race.Report.to_json a g report)
+      else Format.printf "%a@." (O2_race.Report.pp a g) report
+    end
+    else begin
+      let r =
+        O2.analyze ~policy ~serial_events ~lock_region:(not no_region) p
+      in
+      if json then
+        print_endline
+          (O2_race.Report.to_json r.O2.solver r.O2.graph r.O2.report)
+      else begin
+        Format.printf "%a@." (O2.pp_report r) ();
+        if stats then
+          Format.printf "origins: %d, analysis time: %.3fs@." (O2.n_origins r)
+            r.O2.elapsed
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Detect data races in a CIR program")
+    Term.(
+      const run $ file_arg $ policy_arg $ serial_arg $ naive $ no_region
+      $ json $ stats)
+
+(* ---- osa ---- *)
+
+let osa_cmd =
+  let run file policy =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let r = O2.analyze ~policy p in
+    Format.printf "%a@." (O2.pp_sharing r) ()
+  in
+  Cmd.v
+    (Cmd.info "osa" ~doc:"Print the origin-sharing analysis report")
+    Term.(const run $ file_arg $ policy_arg)
+
+(* ---- shb ---- *)
+
+let shb_cmd =
+  let run file policy no_serial =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let a = O2_pta.Solver.analyze ~policy p in
+    let g = O2_shb.Graph.build ~serial_events:(not no_serial) a in
+    Format.printf "%a@." O2_shb.Graph.pp g
+  in
+  Cmd.v
+    (Cmd.info "shb" ~doc:"Dump the static happens-before graph")
+    Term.(const run $ file_arg $ policy_arg $ serial_arg)
+
+(* ---- racerd ---- *)
+
+let racerd_cmd =
+  let run file =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let report = O2_racerd.Racerd.analyze p in
+    Format.printf "%d warning(s)@." (O2_racerd.Racerd.n_warnings report);
+    List.iter
+      (fun w -> Format.printf "%a@." O2_racerd.Racerd.pp_warning w)
+      report.O2_racerd.Racerd.warnings
+  in
+  Cmd.v
+    (Cmd.info "racerd"
+       ~doc:"Run the RacerD-style syntactic baseline detector")
+    Term.(const run $ file_arg)
+
+(* ---- pts ---- *)
+
+let pts_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CLASS.METHOD.VAR"
+          ~doc:"The local variable to query, e.g. Worker.run.d")
+  in
+  let run file policy target =
+    handle_errors @@ fun () ->
+    let p = load file in
+    match String.split_on_char '.' target with
+    | [ cls; meth; var ] ->
+        let a = O2_pta.Solver.analyze ~policy p in
+        let objs = O2_pta.Query.points_to a ~cls ~meth ~var in
+        if objs = [] then
+          Format.printf "%s: empty points-to set (unreached or never assigned)@."
+            target
+        else
+          List.iter
+            (fun oi -> Format.printf "%a@." O2_pta.Query.pp_obj_info oi)
+            objs
+    | _ ->
+        Printf.eprintf "expected CLASS.METHOD.VAR, got %s\n" target;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "pts" ~doc:"Print the points-to set of a local variable")
+    Term.(const run $ file_arg $ policy_arg $ target)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("shb", `Shb); ("origins", `Origins); ("callgraph", `Cg) ])
+          `Shb
+      & info [ "graph"; "g" ] ~docv:"KIND"
+          ~doc:"Which graph to export: $(b,shb), $(b,origins) or \
+                $(b,callgraph).")
+  in
+  let run file policy what =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let a = O2_pta.Solver.analyze ~policy p in
+    match what with
+    | `Shb ->
+        let g = O2_shb.Graph.build a in
+        Format.printf "%a" O2_shb.Dot.shb g
+    | `Origins ->
+        let g = O2_shb.Graph.build a in
+        Format.printf "%a" O2_shb.Dot.origins g
+    | `Cg -> Format.printf "%a" O2_shb.Dot.callgraph a
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the SHB / origin / call graph as Graphviz")
+    Term.(const run $ file_arg $ policy_arg $ what)
+
+(* ---- deadlock ---- *)
+
+let deadlock_cmd =
+  let run file policy =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let report = O2_race.Deadlock.analyze ~policy p in
+    Format.printf "%d potential deadlock(s)@."
+      (O2_race.Deadlock.n_deadlocks report);
+    List.iter
+      (fun c -> Format.printf "%a@." O2_race.Deadlock.pp_cycle c)
+      report.O2_race.Deadlock.cycles
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Detect lock-order cycles (potential deadlocks)")
+    Term.(const run $ file_arg $ policy_arg)
+
+(* ---- oversync ---- *)
+
+let oversync_cmd =
+  let run file policy =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let report = O2_race.Oversync.analyze ~policy p in
+    Format.printf "%d over-synchronization finding(s)@."
+      (O2_race.Oversync.n_findings report);
+    List.iter
+      (fun f -> Format.printf "%a@." O2_race.Oversync.pp_finding f)
+      report.O2_race.Oversync.findings
+  in
+  Cmd.v
+    (Cmd.info "oversync"
+       ~doc:"Find locks that only guard origin-local data (removable)")
+    Term.(const run $ file_arg $ policy_arg)
+
+(* ---- origins ---- *)
+
+let origins_cmd =
+  let run file policy =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let a = O2_pta.Solver.analyze ~policy p in
+    let pag = O2_pta.Solver.pag a in
+    Format.printf "%d origin(s) beside main:@." (O2_pta.Solver.n_origins a);
+    Array.iteri
+      (fun i og ->
+        if i > 0 then begin
+          Format.printf "  %a" O2_pta.Context.pp_origin og;
+          let attrs = O2_pta.Solver.origin_attrs a i in
+          if attrs <> [] then begin
+            Format.printf "  attributes:";
+            List.iter
+              (fun oid ->
+                let o = O2_pta.Pag.obj pag oid in
+                Format.printf " %s@%d" o.O2_pta.Pag.ob_class o.O2_pta.Pag.ob_site)
+              attrs
+          end;
+          Format.printf "@."
+        end)
+      (O2_pta.Solver.origins a);
+    Array.iter
+      (fun (sp : O2_pta.Solver.spawn) ->
+        if sp.sp_kind <> `Main then
+          Format.printf "  spawn: %s@."
+            (O2_race.Report.origin_name a sp.sp_id))
+      (O2_pta.Solver.spawns a)
+  in
+  Cmd.v
+    (Cmd.info "origins"
+       ~doc:
+         "List the origins and their attributes (the Figure 2 view: entry \
+          point + data pointers)")
+    Term.(const run $ file_arg $ policy_arg)
+
+(* ---- diff ---- *)
+
+let diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old version")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New version")
+  in
+  let run old_f new_f policy =
+    handle_errors @@ fun () ->
+    let d = O2_race.Diff.diff ~policy (load old_f) (load new_f) in
+    Format.printf "%a@." O2_race.Diff.pp d;
+    if d.O2_race.Diff.introduced <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare the race reports of two program versions (exit 2 when \
+          races were introduced)")
+    Term.(const run $ old_arg $ new_arg $ policy_arg)
+
+(* ---- android ---- *)
+
+let android_cmd =
+  let activity =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "activity" ] ~docv:"CLASS"
+          ~doc:
+            "The main activity to generate the harness from (default: \
+             MainActivity, else the first Activity subclass).")
+  in
+  let run file policy activity =
+    handle_errors @@ fun () ->
+    let ic = open_in_bin file in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let classes = O2_frontend.Parser.parse_classes ~file src in
+    match O2_ir.Harness.android ?main_activity:activity classes with
+    | p ->
+        let r = O2.analyze ~policy p in
+        Format.printf "%a@." (O2.pp_report r) ()
+    | exception O2_ir.Harness.No_activity msg ->
+        Printf.eprintf "harness error: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "android"
+       ~doc:
+         "Analyze an Android-style app (class declarations without main): \
+          generate the lifecycle harness (Section 4.2) and detect races")
+    Term.(const run $ file_arg $ policy_arg $ activity)
+
+(* ---- run ---- *)
+
+let pp_event ppf (e : O2_runtime.Interp.event) =
+  match e with
+  | Eread { task; addr; field; _ } ->
+      Format.fprintf ppf "[t%d] read  #%d.%s" task addr field
+  | Ewrite { task; addr; field; _ } ->
+      Format.fprintf ppf "[t%d] write #%d.%s" task addr field
+  | Esread { task; cls; field; _ } ->
+      Format.fprintf ppf "[t%d] read  %s::%s" task cls field
+  | Eswrite { task; cls; field; _ } ->
+      Format.fprintf ppf "[t%d] write %s::%s" task cls field
+  | Eacquire { task; lock } -> Format.fprintf ppf "[t%d] lock #%d" task lock
+  | Erelease { task; lock } -> Format.fprintf ppf "[t%d] unlock #%d" task lock
+  | Espawn { parent; child } ->
+      Format.fprintf ppf "[t%d] spawn t%d" parent child
+  | Ejoin { parent; child } -> Format.fprintf ppf "[t%d] join t%d" parent child
+  | Esignal { task; sem } -> Format.fprintf ppf "[t%d] signal #%d" task sem
+  | Ewait { task; sem } -> Format.fprintf ppf "[t%d] wait #%d" task sem
+
+let run_cmd =
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler RNG seed.")
+  in
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:"Check the execution with the vector-clock race detector.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print every memory/synchronization event.")
+  in
+  let run file seed dynamic trace =
+    handle_errors @@ fun () ->
+    let p = load file in
+    if dynamic then begin
+      let races = O2_runtime.Dynrace.check ~seeds:[ seed ] p in
+      Printf.printf "%d dynamic race(s)\n" (List.length races);
+      List.iter
+        (fun (r : O2_runtime.Dynrace.race) ->
+          Printf.printf "  race on %s (stmts %d and %d)\n" r.d_field r.d_sid_a
+            r.d_sid_b)
+        races
+    end
+    else begin
+      let on_event =
+        if trace then fun e -> Format.printf "%a@." pp_event e
+        else fun _ -> ()
+      in
+      let o = O2_runtime.Interp.run ~seed ~on_event p in
+      Printf.printf "executed %d steps, %s\n" o.O2_runtime.Interp.steps
+        (if o.O2_runtime.Interp.deadlocked then "DEADLOCK"
+         else if o.O2_runtime.Interp.completed then "completed"
+         else "step limit reached")
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a CIR program on the concrete interpreter")
+    Term.(const run $ file_arg $ seed $ dynamic $ trace)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let max_runs =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-runs" ] ~doc:"Execution budget for the DFS.")
+  in
+  let run file max_runs =
+    handle_errors @@ fun () ->
+    let p = load file in
+    let r = O2_runtime.Explore.explore ~max_runs p in
+    Printf.printf "%d run(s)%s, %d race(s), %d deadlocking schedule(s)\n"
+      r.O2_runtime.Explore.runs
+      (if r.O2_runtime.Explore.exhaustive then " (exhaustive)" else "")
+      (List.length r.O2_runtime.Explore.races)
+      r.O2_runtime.Explore.deadlocks;
+    List.iter
+      (fun (d : O2_runtime.Dynrace.race) ->
+        Printf.printf "  race on %s (stmts %d and %d)\n" d.d_field d.d_sid_a
+          d.d_sid_b)
+      r.O2_runtime.Explore.races
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore schedules (DFS + partial-order reduction) \
+          and report every dynamically-realizable race and deadlock")
+    Term.(const run $ file_arg $ max_runs)
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let run file =
+    handle_errors @@ fun () ->
+    let p = load file in
+    Format.printf "%a" O2_ir.Pp.pp_program p
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Parse, resolve and pretty-print a CIR program")
+    Term.(const run $ file_arg)
+
+(* ---- model ---- *)
+
+let model_cmd =
+  let model_name =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Model name (omit to list all).")
+  in
+  let fixed =
+    Arg.(value & flag & info [ "fixed" ] ~doc:"Analyze the repaired variant.")
+  in
+  let run name fixed =
+    match name with
+    | None ->
+        List.iter
+          (fun (m : O2_workloads.Models.model) ->
+            Printf.printf "%-10s %d race(s): %s\n" m.name m.expected_races
+              m.describe)
+          O2_workloads.Models.all
+    | Some n -> (
+        match O2_workloads.Models.find n with
+        | m ->
+            let p = if fixed then m.fixed () else m.program () in
+            let r = O2.analyze p in
+            Format.printf "%a@." (O2.pp_report r) ()
+        | exception Not_found ->
+            Printf.eprintf "unknown model %s\n" n;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Analyze a built-in real-world race model (Table 10)")
+    Term.(const run $ model_name $ fixed)
+
+let () =
+  let info =
+    Cmd.info "o2" ~version:"1.0.0"
+      ~doc:"Static race detection with origins (PLDI 2021 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; osa_cmd; shb_cmd; racerd_cmd; deadlock_cmd;
+            oversync_cmd; pts_cmd; dot_cmd; origins_cmd; diff_cmd;
+            android_cmd; run_cmd; explore_cmd; dump_cmd; model_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/beyond_races.ml: Format List O2 O2_ir O2_race

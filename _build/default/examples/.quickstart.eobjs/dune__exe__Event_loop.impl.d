@@ -1,0 +1,1 @@
+examples/event_loop.ml: Format List O2 O2_ir O2_race O2_runtime O2_shb

@@ -1,0 +1,1 @@
+examples/kernel_audit.ml: Array Format List O2 O2_osa O2_pta O2_race O2_workloads

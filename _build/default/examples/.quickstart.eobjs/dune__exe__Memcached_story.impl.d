@@ -1,0 +1,1 @@
+examples/memcached_story.ml: Format List O2 O2_racerd O2_workloads

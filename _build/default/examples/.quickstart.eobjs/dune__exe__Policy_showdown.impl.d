@@ -1,0 +1,1 @@
+examples/policy_showdown.ml: Array Format List O2 O2_ir O2_pta O2_util O2_workloads Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format O2 O2_pta O2_workloads

@@ -1,0 +1,34 @@
+(* Quickstart: parse a CIR program, run the O2 pipeline, inspect results.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The program is Figure 2 of the paper: two instances of one thread class
+   whose origin attributes (op1/op2) select different behaviours on
+   thread-local Data objects. A context-insensitive analysis conflates the
+   two threads' locals and reports a false race; O2's origins keep them
+   apart. *)
+
+let () =
+  (* 1. Parse. Programs can come from files (Parser.parse_file), strings, or
+     the Builder DSL. *)
+  let program = O2_workloads.Figures.figure2 () in
+
+  (* 2. Analyze with the paper's default configuration (1-origin OPA). *)
+  let r = O2.analyze program in
+
+  Format.printf "=== O2 (origin-sensitive) ===@.";
+  Format.printf "origins discovered: %d@." (O2.n_origins r);
+  Format.printf "%a@.@." (O2.pp_report r) ();
+
+  (* 3. The origin-sharing analysis explains *how* memory is shared. *)
+  Format.printf "=== origin-sharing analysis ===@.%a@.@." (O2.pp_sharing r) ();
+
+  (* 4. Compare with the context-insensitive baseline: it merges both
+     threads' thread-local Data objects and reports a false race. *)
+  let r0 = O2.analyze ~policy:O2_pta.Context.Insensitive program in
+  Format.printf "=== 0-ctx baseline on the same program ===@.";
+  Format.printf "%a@." (O2.pp_report r0) ();
+  Format.printf
+    "@.O2 reported %d race(s); the 0-ctx baseline reported %d — the extra \
+     ones are the Figure 2 false positives that origins eliminate.@."
+    (O2.n_races r) (O2.n_races r0)

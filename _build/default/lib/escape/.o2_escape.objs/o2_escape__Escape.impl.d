@@ -1,0 +1,1 @@
+lib/escape/escape.ml: Access Array Ast Hashtbl List O2_ir O2_pta O2_util Pag Program Solver Walk

@@ -1,0 +1,1 @@
+lib/escape/escape.mli: O2_pta Solver

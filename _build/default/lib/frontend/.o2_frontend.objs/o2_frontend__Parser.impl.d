@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Format Fun Lexer Lexing List O2_ir Program Token Types

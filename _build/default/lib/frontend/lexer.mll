@@ -1,0 +1,51 @@
+{
+(* Lexer for CIR concrete syntax. Line comments start with "//"; block
+   comments are C-style and may not nest. *)
+open Token
+
+exception Lex_error of string * int  (* message, line *)
+
+let keywords = [
+  "main", KW_MAIN; "class", KW_CLASS; "extends", KW_EXTENDS;
+  "field", KW_FIELD; "static", KW_STATIC; "method", KW_METHOD;
+  "local", KW_LOCAL; "new", KW_NEW; "null", KW_NULL;
+  "start", KW_START; "join", KW_JOIN; "post", KW_POST;
+  "signal", KW_SIGNAL; "wait", KW_WAIT;
+  "thread", KW_THREAD; "handler", KW_HANDLER;
+  "sync", KW_SYNC; "if", KW_IF; "else", KW_ELSE;
+  "while", KW_WHILE; "return", KW_RETURN;
+]
+}
+
+let ident = ['a'-'z' 'A'-'Z' '_'] ['a'-'z' 'A'-'Z' '0'-'9' '_']*
+let ws = [' ' '\t' '\r']
+
+rule token = parse
+  | ws+            { token lexbuf }
+  | '\n'           { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']* { token lexbuf }
+  | "/*"           { comment lexbuf; token lexbuf }
+  | "[*]"          { STAR_BRACKETS }
+  | "[" ws* "*" ws* "]" { STAR_BRACKETS }
+  | "::"           { COLONCOLON }
+  | "("            { LPAREN }
+  | ")"            { RPAREN }
+  | "{"            { LBRACE }
+  | "}"            { RBRACE }
+  | ";"            { SEMI }
+  | ","            { COMMA }
+  | "."            { DOT }
+  | "="            { EQ }
+  | ident as s     { match List.assoc_opt s keywords with
+                     | Some kw -> kw
+                     | None -> IDENT s }
+  | eof            { EOF }
+  | _ as c         { raise (Lex_error (Printf.sprintf "unexpected character %C" c,
+                                       lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum)) }
+
+and comment = parse
+  | "*/"           { () }
+  | '\n'           { Lexing.new_line lexbuf; comment lexbuf }
+  | eof            { raise (Lex_error ("unterminated comment",
+                                       lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum)) }
+  | _              { comment lexbuf }

@@ -1,0 +1,401 @@
+open O2_ir
+
+exception Parse_error of string * int
+
+type state = {
+  lexbuf : Lexing.lexbuf;
+  file : string;
+  mutable tok : Token.t;
+  mutable tok_line : int;
+  mutable peeked : (Token.t * int) option;
+}
+
+let line_of_lexbuf lb = lb.Lexing.lex_curr_p.Lexing.pos_lnum
+
+let make_state ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  let tok = Lexer.token lexbuf in
+  { lexbuf; file; tok; tok_line = line_of_lexbuf lexbuf; peeked = None }
+
+let err st fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (msg, st.tok_line))) fmt
+
+let advance st =
+  match st.peeked with
+  | Some (t, l) ->
+      st.peeked <- None;
+      st.tok <- t;
+      st.tok_line <- l
+  | None ->
+      st.tok <- Lexer.token st.lexbuf;
+      st.tok_line <- line_of_lexbuf st.lexbuf
+
+let peek st =
+  match st.peeked with
+  | Some (t, _) -> t
+  | None ->
+      let t = Lexer.token st.lexbuf in
+      st.peeked <- Some (t, line_of_lexbuf st.lexbuf);
+      t
+
+let expect st t =
+  if st.tok = t then advance st
+  else err st "expected %s but found %s" (Token.to_string t) (Token.to_string st.tok)
+
+let ident st =
+  match st.tok with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | Token.KW_MAIN ->
+      (* "main" is a header keyword but also a perfectly good method name *)
+      advance st;
+      "main"
+  | t -> err st "expected an identifier but found %s" (Token.to_string t)
+
+let pos st = { Types.file = st.file; line = st.tok_line }
+
+(* args ::= '(' [ident {',' ident}] ')' *)
+let parse_args st =
+  expect st Token.LPAREN;
+  if st.tok = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec more acc =
+      let a = ident st in
+      if st.tok = Token.COMMA then begin
+        advance st;
+        more (a :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev (a :: acc)
+      end
+    in
+    more []
+  end
+
+let rec parse_block st =
+  expect st Token.LBRACE;
+  let rec stmts acc =
+    if st.tok = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt st =
+  let p = pos st in
+  let mkp sk = Ast.mk ~pos:p sk in
+  match st.tok with
+  | Token.KW_START ->
+      advance st;
+      let x = ident st in
+      expect st Token.SEMI;
+      mkp (Ast.Start x)
+  | Token.KW_JOIN ->
+      advance st;
+      let x = ident st in
+      expect st Token.SEMI;
+      mkp (Ast.Join x)
+  | Token.KW_SIGNAL ->
+      advance st;
+      let x = ident st in
+      expect st Token.SEMI;
+      mkp (Ast.Signal x)
+  | Token.KW_WAIT ->
+      advance st;
+      let x = ident st in
+      expect st Token.SEMI;
+      mkp (Ast.Wait x)
+  | Token.KW_POST ->
+      advance st;
+      let x = ident st in
+      let args = parse_args st in
+      expect st Token.SEMI;
+      mkp (Ast.Post (x, args))
+  | Token.KW_SYNC ->
+      advance st;
+      expect st Token.LPAREN;
+      let x = ident st in
+      expect st Token.RPAREN;
+      let body = parse_block st in
+      mkp (Ast.Sync (x, body))
+  | Token.KW_IF ->
+      advance st;
+      let a = parse_block st in
+      let b =
+        if st.tok = Token.KW_ELSE then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      mkp (Ast.If (a, b))
+  | Token.KW_WHILE ->
+      advance st;
+      let body = parse_block st in
+      mkp (Ast.While body)
+  | Token.KW_RETURN ->
+      advance st;
+      if st.tok = Token.SEMI then begin
+        advance st;
+        mkp (Ast.Return None)
+      end
+      else begin
+        let v = ident st in
+        expect st Token.SEMI;
+        mkp (Ast.Return (Some v))
+      end
+  | Token.IDENT _ -> parse_ident_stmt st
+  | t -> err st "expected a statement but found %s" (Token.to_string t)
+
+(* Statements beginning with an identifier:
+     x = …;   x.f = y;   x[*] = y;   x.m(args);   C::f = y;   C::m(args);  *)
+and parse_ident_stmt st =
+  let p = pos st in
+  let mkp sk = Ast.mk ~pos:p sk in
+  let name = ident st in
+  match st.tok with
+  | Token.DOT -> (
+      advance st;
+      let member = ident st in
+      match st.tok with
+      | Token.LPAREN ->
+          let args = parse_args st in
+          expect st Token.SEMI;
+          mkp (Ast.Call (None, name, member, args))
+      | Token.EQ ->
+          advance st;
+          let y = ident st in
+          expect st Token.SEMI;
+          mkp (Ast.FieldWrite (name, member, y))
+      | t -> err st "expected '(' or '=' after '%s.%s' but found %s" name member
+               (Token.to_string t))
+  | Token.STAR_BRACKETS ->
+      advance st;
+      expect st Token.EQ;
+      let y = ident st in
+      expect st Token.SEMI;
+      mkp (Ast.ArrayWrite (name, y))
+  | Token.COLONCOLON -> (
+      advance st;
+      let member = ident st in
+      match st.tok with
+      | Token.LPAREN ->
+          let args = parse_args st in
+          expect st Token.SEMI;
+          mkp (Ast.StaticCall (None, name, member, args))
+      | Token.EQ ->
+          advance st;
+          let y = ident st in
+          expect st Token.SEMI;
+          mkp (Ast.StaticWrite (name, member, y))
+      | t ->
+          err st "expected '(' or '=' after '%s::%s' but found %s" name member
+            (Token.to_string t))
+  | Token.EQ -> (
+      advance st;
+      match st.tok with
+      | Token.KW_NEW ->
+          advance st;
+          let c = ident st in
+          let args = parse_args st in
+          expect st Token.SEMI;
+          mkp (Ast.New (name, c, args))
+      | Token.KW_NULL ->
+          advance st;
+          expect st Token.SEMI;
+          mkp (Ast.Null name)
+      | Token.IDENT _ -> (
+          let rhs = ident st in
+          match st.tok with
+          | Token.SEMI ->
+              advance st;
+              mkp (Ast.Assign (name, rhs))
+          | Token.STAR_BRACKETS ->
+              advance st;
+              expect st Token.SEMI;
+              mkp (Ast.ArrayRead (name, rhs))
+          | Token.DOT -> (
+              advance st;
+              let member = ident st in
+              match st.tok with
+              | Token.LPAREN ->
+                  let args = parse_args st in
+                  expect st Token.SEMI;
+                  mkp (Ast.Call (Some name, rhs, member, args))
+              | Token.SEMI ->
+                  advance st;
+                  mkp (Ast.FieldRead (name, rhs, member))
+              | t ->
+                  err st "expected '(' or ';' after '%s.%s' but found %s" rhs
+                    member (Token.to_string t))
+          | Token.COLONCOLON -> (
+              advance st;
+              let member = ident st in
+              match st.tok with
+              | Token.LPAREN ->
+                  let args = parse_args st in
+                  expect st Token.SEMI;
+                  mkp (Ast.StaticCall (Some name, rhs, member, args))
+              | Token.SEMI ->
+                  advance st;
+                  mkp (Ast.StaticRead (name, rhs, member))
+              | t ->
+                  err st "expected '(' or ';' after '%s::%s' but found %s" rhs
+                    member (Token.to_string t))
+          | t ->
+              err st "unexpected %s in assignment to %s" (Token.to_string t)
+                name)
+      | t -> err st "unexpected %s after '%s ='" (Token.to_string t) name)
+  | t -> err st "unexpected %s after identifier %s" (Token.to_string t) name
+
+let parse_locals st =
+  (* zero or more 'local a, b, c;' lines at the start of a method body *)
+  let rec go acc =
+    if st.tok = Token.KW_LOCAL then begin
+      advance st;
+      let rec names acc =
+        let v = ident st in
+        if st.tok = Token.COMMA then begin
+          advance st;
+          names (v :: acc)
+        end
+        else begin
+          expect st Token.SEMI;
+          List.rev (v :: acc)
+        end
+      in
+      go (acc @ names [])
+    end
+    else acc
+  in
+  go []
+
+let parse_meth st =
+  let static =
+    if st.tok = Token.KW_STATIC then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  expect st Token.KW_METHOD;
+  let name = ident st in
+  let params = parse_args st in
+  expect st Token.LBRACE;
+  let locals = parse_locals st in
+  let rec stmts acc =
+    if st.tok = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  {
+    Ast.md_name = name;
+    md_static = static;
+    md_params = params;
+    md_locals = locals;
+    md_body = body;
+  }
+
+(* optional origin annotation before 'class': 'thread', 'thread(entry)',
+   'handler', 'handler(entry)' *)
+let parse_origin_annot st =
+  let with_entry default mk =
+    advance st;
+    if st.tok = Token.LPAREN then begin
+      advance st;
+      let e = ident st in
+      expect st Token.RPAREN;
+      Some (mk e)
+    end
+    else Some (mk default)
+  in
+  match st.tok with
+  | Token.KW_THREAD -> with_entry "run" (fun e -> Ast.Athread e)
+  | Token.KW_HANDLER -> with_entry "handle" (fun e -> Ast.Ahandler e)
+  | _ -> None
+
+let parse_class st =
+  let origin = parse_origin_annot st in
+  expect st Token.KW_CLASS;
+  let name = ident st in
+  let super =
+    if st.tok = Token.KW_EXTENDS then begin
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  expect st Token.LBRACE;
+  let fields = ref [] and sfields = ref [] and methods = ref [] in
+  let rec members () =
+    match st.tok with
+    | Token.RBRACE -> advance st
+    | Token.KW_FIELD ->
+        advance st;
+        let f = ident st in
+        expect st Token.SEMI;
+        fields := f :: !fields;
+        members ()
+    | Token.KW_STATIC when peek st = Token.KW_FIELD ->
+        advance st;
+        advance st;
+        let f = ident st in
+        expect st Token.SEMI;
+        sfields := f :: !sfields;
+        members ()
+    | Token.KW_STATIC | Token.KW_METHOD ->
+        methods := parse_meth st :: !methods;
+        members ()
+    | t -> err st "expected a class member but found %s" (Token.to_string t)
+  in
+  members ();
+  {
+    Ast.cd_name = name;
+    cd_super = super;
+    cd_origin = origin;
+    cd_fields = List.rev !fields;
+    cd_sfields = List.rev !sfields;
+    cd_methods = List.rev !methods;
+  }
+
+let parse_class_list st =
+  let rec classes acc =
+    if st.tok = Token.EOF then List.rev acc
+    else classes (parse_class st :: acc)
+  in
+  classes []
+
+let parse_classes ~file src =
+  let st = make_state ~file src in
+  parse_class_list st
+
+let parse_decls ~file src =
+  let st = make_state ~file src in
+  expect st Token.KW_MAIN;
+  let main = ident st in
+  expect st Token.SEMI;
+  let cs = parse_class_list st in
+  { Ast.pd_classes = cs; pd_main = main }
+
+let parse_string ?(file = "<string>") src =
+  Program.of_decls (parse_decls ~file src)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~file:path src

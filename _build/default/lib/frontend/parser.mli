@@ -1,0 +1,25 @@
+(** Recursive-descent parser for CIR concrete syntax.
+
+    The grammar (see README §"The CIR language") is LL(2); the parser works
+    on the ocamllex token stream with one token of buffered lookahead.
+    Parsed declarations still carry [sid = -1]; resolution happens in
+    {!O2_ir.Program.of_decls} via {!parse_string} / {!parse_file}. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** [parse_decls ~file src] parses a whole program declaration.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors *)
+val parse_decls : file:string -> string -> O2_ir.Ast.program_decl
+
+(** [parse_string ?file src] parses and resolves.
+    @raise O2_ir.Program.Ill_formed on resolution errors. *)
+val parse_string : ?file:string -> string -> O2_ir.Program.t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> O2_ir.Program.t
+
+(** [parse_classes ~file src] parses a bare list of class declarations (no
+    [main C;] header) — the Android-app form, to be wrapped by
+    {!O2_ir.Harness.android}. *)
+val parse_classes : file:string -> string -> O2_ir.Ast.class_decl list

@@ -1,0 +1,71 @@
+(** Tokens shared between the ocamllex lexer and the parser. *)
+
+type t =
+  | IDENT of string
+  | KW_MAIN
+  | KW_CLASS
+  | KW_EXTENDS
+  | KW_FIELD
+  | KW_STATIC
+  | KW_METHOD
+  | KW_LOCAL
+  | KW_NEW
+  | KW_NULL
+  | KW_START
+  | KW_JOIN
+  | KW_SIGNAL
+  | KW_WAIT
+  | KW_THREAD
+  | KW_HANDLER
+  | KW_POST
+  | KW_SYNC
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOT
+  | EQ
+  | COLONCOLON
+  | STAR_BRACKETS  (** the array-access marker "[*]" *)
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_MAIN -> "'main'"
+  | KW_CLASS -> "'class'"
+  | KW_EXTENDS -> "'extends'"
+  | KW_FIELD -> "'field'"
+  | KW_STATIC -> "'static'"
+  | KW_METHOD -> "'method'"
+  | KW_LOCAL -> "'local'"
+  | KW_NEW -> "'new'"
+  | KW_NULL -> "'null'"
+  | KW_START -> "'start'"
+  | KW_JOIN -> "'join'"
+  | KW_SIGNAL -> "'signal'"
+  | KW_WAIT -> "'wait'"
+  | KW_THREAD -> "'thread'"
+  | KW_HANDLER -> "'handler'"
+  | KW_POST -> "'post'"
+  | KW_SYNC -> "'sync'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_RETURN -> "'return'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | EQ -> "'='"
+  | COLONCOLON -> "'::'"
+  | STAR_BRACKETS -> "'[*]'"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/ir/harness.ml: Ast Hashtbl List Program

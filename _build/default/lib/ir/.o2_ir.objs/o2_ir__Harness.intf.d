@@ -1,0 +1,1 @@
+lib/ir/harness.mli: Ast Program Types

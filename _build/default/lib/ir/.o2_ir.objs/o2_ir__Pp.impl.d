@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Ast Format List Program

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Ast Format Hashtbl List O2_util Types

@@ -1,0 +1,1 @@
+lib/ir/wellformed.ml: Ast Format Hashtbl List Option Program Types

@@ -1,0 +1,1 @@
+lib/ir/wellformed.mli: Format Program Types

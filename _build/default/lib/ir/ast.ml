@@ -1,0 +1,84 @@
+open Types
+
+type stmt = { sid : int; pos : pos; sk : stmt_kind }
+
+and stmt_kind =
+  | New of vname * cname * vname list
+  | Assign of vname * vname
+  | Null of vname
+  | FieldWrite of vname * fname * vname
+  | FieldRead of vname * vname * fname
+  | ArrayWrite of vname * vname
+  | ArrayRead of vname * vname
+  | StaticWrite of cname * fname * vname
+  | StaticRead of vname * cname * fname
+  | Call of vname option * vname * mname * vname list
+  | StaticCall of vname option * cname * mname * vname list
+  | Start of vname
+  | Join of vname
+  | Signal of vname
+  | Wait of vname
+  | Post of vname * vname list
+  | Sync of vname * stmt list
+  | If of stmt list * stmt list
+  | While of stmt list
+  | Return of vname option
+
+type meth_decl = {
+  md_name : mname;
+  md_static : bool;
+  md_params : vname list;
+  md_locals : vname list;
+  md_body : stmt list;
+}
+
+type origin_annot = Athread of mname | Ahandler of mname
+
+type class_decl = {
+  cd_name : cname;
+  cd_super : cname option;
+  cd_origin : origin_annot option;
+  cd_fields : fname list;
+  cd_sfields : fname list;
+  cd_methods : meth_decl list;
+}
+
+type program_decl = { pd_classes : class_decl list; pd_main : cname }
+
+let mk ?(pos = dummy_pos) sk = { sid = -1; pos; sk }
+
+let rec iter_stmts f body =
+  List.iter
+    (fun s ->
+      f s;
+      match s.sk with
+      | Sync (_, b) | While b -> iter_stmts f b
+      | If (a, b) ->
+          iter_stmts f a;
+          iter_stmts f b
+      | _ -> ())
+    body
+
+let defined_vars body =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let def v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  iter_stmts
+    (fun s ->
+      match s.sk with
+      | New (x, _, _)
+      | Assign (x, _)
+      | Null x
+      | FieldRead (x, _, _)
+      | ArrayRead (x, _)
+      | StaticRead (x, _, _) ->
+          def x
+      | Call (Some x, _, _, _) | StaticCall (Some x, _, _, _) -> def x
+      | _ -> ())
+    body;
+  List.rev !out

@@ -1,0 +1,83 @@
+(** Abstract syntax of CIR.
+
+    Statements carry a unique statement id [sid] assigned during program
+    resolution ({!Program.of_decls}); the parser and builder create
+    statements with [sid = -1]. The [sid] identifies allocation sites, call
+    sites and access sites throughout the analyses. *)
+
+open Types
+
+type stmt = { sid : int; pos : pos; sk : stmt_kind }
+
+and stmt_kind =
+  | New of vname * cname * vname list
+      (** [x = new C(a1, …, an)] — allocates and runs [C]'s [init] method
+          (if any) with the given arguments. Statement ❶/❽ of Table 2:
+          allocating a thread/handler class is an origin allocation. *)
+  | Assign of vname * vname  (** [x = y] — statement ❷. *)
+  | Null of vname  (** [x = null]. *)
+  | FieldWrite of vname * fname * vname  (** [x.f = y] — statement ❸. *)
+  | FieldRead of vname * vname * fname  (** [x = y.f] — statement ❹. *)
+  | ArrayWrite of vname * vname  (** [x[*] = y] — statement ❺. *)
+  | ArrayRead of vname * vname  (** [x = y[*]] — statement ❻. *)
+  | StaticWrite of cname * fname * vname  (** [C.f = y]. *)
+  | StaticRead of vname * cname * fname  (** [x = C.f]. *)
+  | Call of vname option * vname * mname * vname list
+      (** [x = y.m(a1, …, an)] — virtual call, statement ❼. *)
+  | StaticCall of vname option * cname * mname * vname list
+      (** [x = C.m(a1, …, an)] — static call. *)
+  | Start of vname  (** [start x] — origin entry call, statement ❾. *)
+  | Join of vname  (** [join x] — Table 4 statement ⑱. *)
+  | Signal of vname
+      (** [signal x] — semaphore post on the object(s) [x] points to. The
+          §4.3 future-work extension: the SHB graph adds a happens-before
+          edge from a program-wide-unique signal to the matching waits. *)
+  | Wait of vname  (** [wait x] — semaphore wait (blocks until signalled). *)
+  | Post of vname * vname list
+      (** [post x(a1, …, an)] — dispatches the event-handler entry of the
+          object(s) [x] points to, starting a new origin. *)
+  | Sync of vname * stmt list
+      (** [sync (x) { … }] — monitor region, Table 4 statement ⑯. *)
+  | If of stmt list * stmt list
+      (** Nondeterministic branch; the static analyses visit both arms, the
+          interpreter picks one. CIR has no data-dependent control flow —
+          branch conditions are irrelevant to the analyses reproduced. *)
+  | While of stmt list  (** Nondeterministic loop (0+ iterations). *)
+  | Return of vname option
+
+type meth_decl = {
+  md_name : mname;
+  md_static : bool;
+  md_params : vname list;
+  md_locals : vname list;
+  md_body : stmt list;
+}
+
+(** §3.1's explicit origin annotations: [thread class C]/[handler class C]
+    mark [C] as an origin root without inheriting from a builtin — for the
+    "customized user-level threads" the automatic patterns cannot see. The
+    payload is the entry-method name ([run]/[handle] by default). *)
+type origin_annot = Athread of mname | Ahandler of mname
+
+type class_decl = {
+  cd_name : cname;
+  cd_super : cname option;
+  cd_origin : origin_annot option;  (** explicit origin annotation *)
+  cd_fields : fname list;
+  cd_sfields : fname list;  (** static fields *)
+  cd_methods : meth_decl list;
+}
+
+type program_decl = { pd_classes : class_decl list; pd_main : cname }
+(** [pd_main] names the class whose static [main] method is the entry. *)
+
+val mk : ?pos:pos -> stmt_kind -> stmt
+(** [mk sk] wraps a statement kind with [sid = -1]. *)
+
+(** [iter_stmts f body] applies [f] to every statement of [body], including
+    those nested in [Sync]/[If]/[While], in program order. *)
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+
+(** [defined_vars body] is the set of variables assigned anywhere in
+    [body] (no duplicates, in first-definition order). *)
+val defined_vars : stmt list -> vname list

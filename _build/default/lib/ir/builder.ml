@@ -1,0 +1,58 @@
+open Types
+
+let line_counter = ref 0
+
+let auto_pos () =
+  incr line_counter;
+  { file = "<builder>"; line = !line_counter }
+
+let mk ?pos sk =
+  let pos = match pos with Some p -> p | None -> auto_pos () in
+  Ast.mk ~pos sk
+
+let new_ ?pos x c args = mk ?pos (Ast.New (x, c, args))
+let assign ?pos x y = mk ?pos (Ast.Assign (x, y))
+let null ?pos x = mk ?pos (Ast.Null x)
+let fwrite ?pos x f y = mk ?pos (Ast.FieldWrite (x, f, y))
+let fread ?pos x y f = mk ?pos (Ast.FieldRead (x, y, f))
+let awrite ?pos x y = mk ?pos (Ast.ArrayWrite (x, y))
+let aread ?pos x y = mk ?pos (Ast.ArrayRead (x, y))
+let swrite ?pos c f y = mk ?pos (Ast.StaticWrite (c, f, y))
+let sread ?pos x c f = mk ?pos (Ast.StaticRead (x, c, f))
+let call ?pos ?ret y m args = mk ?pos (Ast.Call (ret, y, m, args))
+let scall ?pos ?ret c m args = mk ?pos (Ast.StaticCall (ret, c, m, args))
+let start ?pos x = mk ?pos (Ast.Start x)
+let join ?pos x = mk ?pos (Ast.Join x)
+let signal ?pos x = mk ?pos (Ast.Signal x)
+let wait ?pos x = mk ?pos (Ast.Wait x)
+let post ?pos x args = mk ?pos (Ast.Post (x, args))
+let sync ?pos x body = mk ?pos (Ast.Sync (x, body))
+let if_ ?pos a b = mk ?pos (Ast.If (a, b))
+let while_ ?pos body = mk ?pos (Ast.While body)
+let ret ?pos v = mk ?pos (Ast.Return v)
+
+let meth ?(static = false) name params body =
+  let assigned = Ast.defined_vars body in
+  let locals =
+    List.filter (fun v -> (not (List.mem v params)) && v <> "this") assigned
+  in
+  {
+    Ast.md_name = name;
+    md_static = static;
+    md_params = params;
+    md_locals = locals;
+    md_body = body;
+  }
+
+let cls ?super ?origin ?(fields = []) ?(sfields = []) name ms =
+  {
+    Ast.cd_name = name;
+    cd_super = super;
+    cd_origin = origin;
+    cd_fields = fields;
+    cd_sfields = sfields;
+    cd_methods = ms;
+  }
+
+let prog ~main classes =
+  Program.of_decls { Ast.pd_classes = classes; pd_main = main }

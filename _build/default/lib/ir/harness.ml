@@ -1,0 +1,115 @@
+exception No_activity of string
+
+let lifecycle =
+  [ "onCreate"; "onStart"; "onResume"; "onPause"; "onStop"; "onDestroy" ]
+
+(* syntactic super-chain walk over the raw declarations *)
+let extends_activity classes c =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (cd : Ast.class_decl) -> Hashtbl.replace tbl cd.Ast.cd_name cd) classes;
+  let rec go c =
+    c = "Activity"
+    ||
+    match Hashtbl.find_opt tbl c with
+    | Some { Ast.cd_super = Some s; _ } -> go s
+    | _ -> false
+  in
+  go c
+
+let activity_classes classes =
+  List.filter_map
+    (fun (cd : Ast.class_decl) ->
+      if cd.Ast.cd_name <> "Activity" && extends_activity classes cd.Ast.cd_name
+      then Some cd.Ast.cd_name
+      else None)
+    classes
+
+let defined_lifecycle classes c =
+  (* methods defined anywhere on the chain, in lifecycle order *)
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (cd : Ast.class_decl) -> Hashtbl.replace tbl cd.Ast.cd_name cd) classes;
+  let rec defines c m =
+    match Hashtbl.find_opt tbl c with
+    | Some cd ->
+        List.exists (fun (md : Ast.meth_decl) -> md.Ast.md_name = m) cd.Ast.cd_methods
+        || (match cd.Ast.cd_super with Some s -> defines s m | None -> false)
+    | None -> false
+  in
+  List.filter (fun m -> defines c m) lifecycle
+
+let android ?main_activity classes =
+  let activities = activity_classes classes in
+  let main_act =
+    match main_activity with
+    | Some c ->
+        if List.mem c activities then c
+        else raise (No_activity (c ^ " is not an Activity subclass"))
+    | None -> (
+        match List.find_opt (fun c -> c = "MainActivity") activities with
+        | Some c -> c
+        | None -> (
+            match activities with
+            | c :: _ -> c
+            | [] -> raise (No_activity "no class extends Activity")))
+  in
+  (* AndroidRt: one static starter per activity, running its lifecycle —
+     the per-activity harness of §4.2 *)
+  let starter c =
+    let body =
+      List.map
+        (fun m -> Ast.mk (Ast.Call (None, "a", m, [])))
+        (defined_lifecycle classes c)
+      @ [ Ast.mk (Ast.Return None) ]
+    in
+    {
+      Ast.md_name = "start_" ^ c;
+      md_static = true;
+      md_params = [ "a" ];
+      md_locals = [];
+      md_body = body;
+    }
+  in
+  let android_rt =
+    {
+      Ast.cd_name = "AndroidRt";
+      cd_super = None;
+      cd_origin = None;
+      cd_fields = [];
+      cd_sfields = [];
+      cd_methods = List.map starter activities;
+    }
+  in
+  (* the harness main: allocate the main activity and drive its
+     lifecycle. Handlers the app posts from onCreate etc. become origins as
+     usual. *)
+  let main_body =
+    Ast.mk (Ast.New ("act", main_act, []))
+    :: List.map
+         (fun m -> Ast.mk (Ast.Call (None, "act", m, [])))
+         (defined_lifecycle classes main_act)
+    @ [ Ast.mk (Ast.Return None) ]
+  in
+  let harness_main =
+    {
+      Ast.cd_name = "O2AndroidHarness";
+      cd_super = None;
+      cd_origin = None;
+      cd_fields = [];
+      cd_sfields = [];
+      cd_methods =
+        [
+          {
+            Ast.md_name = "main";
+            md_static = true;
+            md_params = [];
+            md_locals = [ "act" ];
+            md_body = main_body;
+          };
+        ];
+    }
+  in
+  Program.of_decls
+    {
+      Ast.pd_classes = classes @ [ android_rt; harness_main ];
+      pd_main = "O2AndroidHarness";
+    }

@@ -1,0 +1,30 @@
+(** Android-style analysis-harness generation (§4.2).
+
+    Android apps have no [main]; O2 "automatically generate[s] an analysis
+    harness from the main Activity" (identified in the manifest — here,
+    chosen explicitly or heuristically). The harness drives the activity's
+    lifecycle handlers ([onCreate] → [onStart] → [onResume] → [onPause] →
+    [onStop] → [onDestroy]) {e as ordinary method calls}, while the normal
+    event handlers the app [post]s remain origin entries — exactly the
+    paper's treatment. For [startActivity], a generated [AndroidRt] class
+    exposes one static starter per activity class that runs the callee
+    activity's lifecycle, modelling "once we hit a startActivity(), we
+    create a harness for the activity being started". *)
+
+exception No_activity of string
+
+(** The lifecycle methods, in the order the harness calls them. *)
+val lifecycle : Types.mname list
+
+(** [android ?main_activity classes] wraps activity classes (those
+    extending the builtin root [Activity]) with a generated harness main
+    and the [AndroidRt] starters, and resolves the result.
+
+    @param main_activity the activity to drive (default: the unique class
+    named ["MainActivity"], else the first Activity subclass declared)
+    @raise No_activity if no class extends [Activity]
+    @raise Program.Ill_formed on resolution errors *)
+val android : ?main_activity:Types.cname -> Ast.class_decl list -> Program.t
+
+(** [activity_classes classes] lists the declared activity subclasses. *)
+val activity_classes : Ast.class_decl list -> Types.cname list

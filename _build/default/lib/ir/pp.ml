@@ -1,0 +1,112 @@
+let pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Format.pp_print_string ppf args
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s.Ast.sk with
+  | Ast.New (x, c, args) -> Format.fprintf ppf "%s = new %s(%a);" x c pp_args args
+  | Ast.Assign (x, y) -> Format.fprintf ppf "%s = %s;" x y
+  | Ast.Null x -> Format.fprintf ppf "%s = null;" x
+  | Ast.FieldWrite (x, f, y) -> Format.fprintf ppf "%s.%s = %s;" x f y
+  | Ast.FieldRead (x, y, f) -> Format.fprintf ppf "%s = %s.%s;" x y f
+  | Ast.ArrayWrite (x, y) -> Format.fprintf ppf "%s[*] = %s;" x y
+  | Ast.ArrayRead (x, y) -> Format.fprintf ppf "%s = %s[*];" x y
+  | Ast.StaticWrite (c, f, y) -> Format.fprintf ppf "%s::%s = %s;" c f y
+  | Ast.StaticRead (x, c, f) -> Format.fprintf ppf "%s = %s::%s;" x c f
+  | Ast.Call (ret, y, m, args) ->
+      (match ret with
+      | Some x -> Format.fprintf ppf "%s = %s.%s(%a);" x y m pp_args args
+      | None -> Format.fprintf ppf "%s.%s(%a);" y m pp_args args)
+  | Ast.StaticCall (ret, c, m, args) ->
+      (match ret with
+      | Some x -> Format.fprintf ppf "%s = %s::%s(%a);" x c m pp_args args
+      | None -> Format.fprintf ppf "%s::%s(%a);" c m pp_args args)
+  | Ast.Start x -> Format.fprintf ppf "start %s;" x
+  | Ast.Join x -> Format.fprintf ppf "join %s;" x
+  | Ast.Signal x -> Format.fprintf ppf "signal %s;" x
+  | Ast.Wait x -> Format.fprintf ppf "wait %s;" x
+  | Ast.Post (x, args) -> Format.fprintf ppf "post %s(%a);" x pp_args args
+  | Ast.Sync (x, body) ->
+      Format.fprintf ppf "@[<v 2>sync (%s) {%a@]@,}" x pp_block body
+  | Ast.If (a, b) ->
+      Format.fprintf ppf "@[<v 2>if {%a@]@,@[<v 2>} else {%a@]@,}" pp_block a
+        pp_block b
+  | Ast.While body ->
+      Format.fprintf ppf "@[<v 2>while {%a@]@,}" pp_block body
+  | Ast.Return (Some v) -> Format.fprintf ppf "return %s;" v
+  | Ast.Return None -> Format.fprintf ppf "return;"
+
+and pp_block ppf body =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) body
+
+let pp_meth_decl ppf (md : Ast.meth_decl) =
+  Format.fprintf ppf "@[<v 2>%smethod %s(%a) {"
+    (if md.Ast.md_static then "static " else "")
+    md.Ast.md_name pp_args md.Ast.md_params;
+  if md.Ast.md_locals <> [] then
+    Format.fprintf ppf "@,local %a;" pp_args md.Ast.md_locals;
+  pp_block ppf md.Ast.md_body;
+  Format.fprintf ppf "@]@,}"
+
+let pp_class_decl ppf (cd : Ast.class_decl) =
+  (match cd.Ast.cd_origin with
+  | Some (Ast.Athread "run") -> Format.fprintf ppf "thread "
+  | Some (Ast.Athread e) -> Format.fprintf ppf "thread(%s) " e
+  | Some (Ast.Ahandler "handle") -> Format.fprintf ppf "handler "
+  | Some (Ast.Ahandler e) -> Format.fprintf ppf "handler(%s) " e
+  | None -> ());
+  Format.fprintf ppf "@[<v 2>class %s%s {" cd.Ast.cd_name
+    (match cd.Ast.cd_super with Some s -> " extends " ^ s | None -> "");
+  List.iter (fun f -> Format.fprintf ppf "@,field %s;" f) cd.Ast.cd_fields;
+  List.iter (fun f -> Format.fprintf ppf "@,static field %s;" f) cd.Ast.cd_sfields;
+  List.iter (fun m -> Format.fprintf ppf "@,%a" pp_meth_decl m) cd.Ast.cd_methods;
+  Format.fprintf ppf "@]@,}"
+
+let pp_program_decl ppf (pd : Ast.program_decl) =
+  Format.fprintf ppf "@[<v>main %s;@,@," pd.Ast.pd_main;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+    pp_class_decl ppf pd.Ast.pd_classes;
+  Format.fprintf ppf "@]@."
+
+let decl_of_program p =
+  let classes =
+    List.map
+      (fun (cls : Program.cls) ->
+        let declared_fields =
+          (* c_fields includes inherited fields; recover the declared ones by
+             dropping the inherited prefix. *)
+          match cls.Program.c_super with
+          | Some s -> (
+              match Program.find_class p s with
+              | Some sup ->
+                  let n = List.length sup.Program.c_fields in
+                  List.filteri (fun i _ -> i >= n) cls.Program.c_fields
+              | None -> cls.Program.c_fields)
+          | None -> cls.Program.c_fields
+        in
+        {
+          Ast.cd_name = cls.Program.c_name;
+          cd_super = cls.Program.c_super;
+          cd_origin = cls.Program.c_annot;
+          cd_fields = declared_fields;
+          cd_sfields = cls.Program.c_sfields;
+          cd_methods =
+            List.map
+              (fun (m : Program.meth) ->
+                {
+                  Ast.md_name = m.Program.m_name;
+                  md_static = m.Program.m_static;
+                  md_params = m.Program.m_params;
+                  md_locals = m.Program.m_locals;
+                  md_body = m.Program.m_body;
+                })
+              (Program.methods_of p cls.Program.c_name);
+        })
+      (Program.classes p)
+  in
+  { Ast.pd_classes = classes; pd_main = (Program.main p).Program.m_class }
+
+let pp_program ppf p = pp_program_decl ppf (decl_of_program p)
+let program_to_string p = Format.asprintf "%a" pp_program p

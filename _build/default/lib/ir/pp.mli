@@ -1,0 +1,14 @@
+(** Concrete-syntax printer for CIR.
+
+    Output parses back with {!O2_frontend.Parser}; used by the CLI's
+    [dump] command and by the parser round-trip tests. *)
+
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_meth_decl : Format.formatter -> Ast.meth_decl -> unit
+val pp_class_decl : Format.formatter -> Ast.class_decl -> unit
+val pp_program_decl : Format.formatter -> Ast.program_decl -> unit
+
+(** [pp_program] prints a resolved program back as concrete syntax. *)
+val pp_program : Format.formatter -> Program.t -> unit
+
+val program_to_string : Program.t -> string

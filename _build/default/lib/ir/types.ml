@@ -1,0 +1,8 @@
+type cname = string
+type mname = string
+type fname = string
+type vname = string
+type pos = { file : string; line : int }
+
+let dummy_pos = { file = "<synthetic>"; line = 0 }
+let pp_pos ppf p = Format.fprintf ppf "%s:%d" p.file p.line

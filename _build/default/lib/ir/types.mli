@@ -1,0 +1,27 @@
+(** Base identifiers and source positions for CIR.
+
+    CIR (Concurrent IR) is the analyzable substrate of this reproduction: a
+    small concurrent object-oriented language providing exactly the statement
+    algebra of Table 2 / Table 4 of the paper — allocation, copy, field and
+    array accesses, static accesses, virtual calls, thread start/join, event
+    post, and synchronized regions. *)
+
+type cname = string
+(** Class names. *)
+
+type mname = string
+(** Method names. *)
+
+type fname = string
+(** Field names. *)
+
+type vname = string
+(** Local-variable / parameter names. ["this"] is the implicit receiver. *)
+
+type pos = { file : string; line : int }
+(** Source position of a statement; synthetic programs use line numbers
+    assigned by the builder. *)
+
+val dummy_pos : pos
+
+val pp_pos : Format.formatter -> pos -> unit

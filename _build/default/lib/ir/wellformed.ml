@@ -1,0 +1,109 @@
+open Types
+
+type issue = { meth : string; pos : pos; msg : string }
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%a: in %s: %s" pp_pos i.pos i.meth i.msg
+
+let check p =
+  let issues = ref [] in
+  let push m pos fmt =
+    Format.kasprintf
+      (fun msg ->
+        issues :=
+          { meth = m.Program.m_class ^ "." ^ m.Program.m_name; pos; msg }
+          :: !issues)
+      fmt
+  in
+  let check_meth (m : Program.meth) =
+    let scope = Hashtbl.create 16 in
+    if not m.m_static then Hashtbl.replace scope "this" ();
+    List.iter (fun v -> Hashtbl.replace scope v ()) m.m_params;
+    List.iter (fun v -> Hashtbl.replace scope v ()) m.m_locals;
+    let use pos v =
+      if not (Hashtbl.mem scope v) then
+        push m pos "variable %s used out of scope" v
+    in
+    let def pos v =
+      if not (Hashtbl.mem scope v) then
+        push m pos "variable %s assigned but not declared" v
+    in
+    let known_class pos c =
+      if
+        Program.find_class p c = None
+        && (not (List.mem_assoc c Program.builtin_roots))
+        && c <> "Object"
+      then push m pos "unknown class %s" c
+    in
+    Ast.iter_stmts
+      (fun s ->
+        let pos = s.Ast.pos in
+        match s.Ast.sk with
+        | Ast.New (x, c, args) ->
+            def pos x;
+            known_class pos c;
+            List.iter (use pos) args
+        | Ast.Assign (x, y) ->
+            def pos x;
+            use pos y
+        | Ast.Null x -> def pos x
+        | Ast.FieldWrite (x, _, y) ->
+            use pos x;
+            use pos y
+        | Ast.FieldRead (x, y, _) ->
+            def pos x;
+            use pos y
+        | Ast.ArrayWrite (x, y) ->
+            use pos x;
+            use pos y
+        | Ast.ArrayRead (x, y) ->
+            def pos x;
+            use pos y
+        | Ast.StaticWrite (c, f, y) ->
+            known_class pos c;
+            use pos y;
+            (match Program.find_class p c with
+            | Some cls when not (List.mem f cls.c_sfields) ->
+                push m pos "class %s has no static field %s" c f
+            | _ -> ())
+        | Ast.StaticRead (x, c, f) ->
+            def pos x;
+            known_class pos c;
+            (match Program.find_class p c with
+            | Some cls when not (List.mem f cls.c_sfields) ->
+                push m pos "class %s has no static field %s" c f
+            | _ -> ())
+        | Ast.Call (ret, y, _, args) ->
+            Option.iter (def pos) ret;
+            use pos y;
+            List.iter (use pos) args
+        | Ast.StaticCall (ret, c, mn, args) ->
+            Option.iter (def pos) ret;
+            known_class pos c;
+            List.iter (use pos) args;
+            if Program.static_method p c mn = None then
+              push m pos "no static method %s.%s" c mn
+        | Ast.Start x | Ast.Join x | Ast.Signal x | Ast.Wait x ->
+            use pos x
+        | Ast.Post (x, args) ->
+            use pos x;
+            List.iter (use pos) args
+        | Ast.Sync (x, _) -> use pos x
+        | Ast.If _ | Ast.While _ -> ()
+        | Ast.Return (Some v) -> use pos v
+        | Ast.Return None -> ())
+      m.m_body
+  in
+  Program.iter_methods check_meth p;
+  List.rev !issues
+
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | issues ->
+      let msg =
+        Format.asprintf "%a"
+          (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_issue)
+          issues
+      in
+      raise (Program.Ill_formed msg)

@@ -1,0 +1,18 @@
+(** Well-formedness lint over resolved programs.
+
+    {!Program.of_decls} already rejects structurally broken programs
+    (duplicate classes, unknown supers, missing main). This module performs
+    the deeper per-method checks: every used variable is in scope, [this] is
+    not used in static methods, statically-named classes in
+    [new]/static-access/static-call statements exist, and [start]/[post]
+    receivers can plausibly be of thread/handler kind. *)
+
+type issue = { meth : string; pos : Types.pos; msg : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** [check p] is the list of lint issues, empty for clean programs. *)
+val check : Program.t -> issue list
+
+(** [check_exn p] raises [Program.Ill_formed] listing all issues if any. *)
+val check_exn : Program.t -> unit

@@ -1,0 +1,24 @@
+type result = {
+  solver : O2_pta.Solver.t;
+  graph : O2_shb.Graph.t;
+  report : O2_race.Detect.report;
+  osa : O2_osa.Osa.t;
+  elapsed : float;
+}
+
+let analyze ?(policy = O2_pta.Context.Korigin 1) ?(serial_events = true)
+    ?(lock_region = true) p =
+  let t0 = Unix.gettimeofday () in
+  let solver = O2_pta.Solver.analyze ~policy p in
+  let graph = O2_shb.Graph.build ~serial_events ~lock_region solver in
+  let report = O2_race.Detect.run graph in
+  let osa = O2_osa.Osa.run solver in
+  { solver; graph; report; osa; elapsed = Unix.gettimeofday () -. t0 }
+
+let races r = r.report.O2_race.Detect.races
+let n_races r = O2_race.Detect.n_races r.report
+let n_origins r = O2_pta.Solver.n_origins r.solver
+let shared_locations r = O2_osa.Osa.shared_locations r.osa
+let pp_race r ppf race = O2_race.Report.pp_race r.solver r.graph ppf race
+let pp_report r ppf () = O2_race.Report.pp r.solver r.graph ppf r.report
+let pp_sharing r ppf () = O2_osa.Osa.pp r.solver ppf r.osa

@@ -1,0 +1,1 @@
+lib/osa/osa.ml: Access Array Format Hashtbl List O2_ir O2_pta Option Pag Printf Solver String Walk

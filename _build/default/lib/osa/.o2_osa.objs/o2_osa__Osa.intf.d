@@ -1,0 +1,1 @@
+lib/osa/osa.mli: Access Format O2_pta Solver

@@ -1,0 +1,191 @@
+open O2_pta
+
+type sharing = {
+  sh_target : Access.target;
+  sh_readers : int list;
+  sh_writers : int list;
+}
+
+let is_shared sh =
+  sh.sh_writers <> []
+  &&
+  let all = List.sort_uniq compare (sh.sh_readers @ sh.sh_writers) in
+  match all with [] | [ _ ] -> false | _ -> true
+
+type mut_sharing = {
+  mutable readers : int list;
+  mutable writers : int list;
+}
+
+type t = {
+  locs : (Access.target, mut_sharing) Hashtbl.t;
+  (* every (site, target, origin, is_write) access, for #S-access *)
+  mutable accesses : (int * Access.target * int * bool) list;
+  (* objects touched per origin, for origin-local reporting *)
+  touched : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* canonical origin key per spawn id *)
+  mutable key_of_spawn : int array;
+}
+
+let loc t target =
+  match Hashtbl.find_opt t.locs target with
+  | Some s -> s
+  | None ->
+      let s = { readers = []; writers = [] } in
+      Hashtbl.add t.locs target s;
+      s
+
+(* ComputeOriginSharing(s, f, O, isWrite) of Algorithm 1 *)
+let compute_origin_sharing t ~site ~target ~origin ~is_write =
+  let s = loc t target in
+  if is_write then begin
+    if not (List.mem origin s.writers) then s.writers <- origin :: s.writers
+  end
+  else if not (List.mem origin s.readers) then s.readers <- origin :: s.readers;
+  t.accesses <- (site, target, origin, is_write) :: t.accesses
+
+let touch t origin oid =
+  let tbl =
+    match Hashtbl.find_opt t.touched origin with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.add t.touched origin tbl;
+        tbl
+  in
+  Hashtbl.replace tbl oid ()
+
+let run a =
+  let t =
+    {
+      locs = Hashtbl.create 256;
+      accesses = [];
+      touched = Hashtbl.create 16;
+      key_of_spawn =
+        Array.map (Solver.origin_of_spawn a) (Solver.spawns a);
+    }
+  in
+  Array.iter
+    (fun (sp : Solver.spawn) ->
+      let origin = Solver.origin_of_spawn a sp in
+      Walk.iter_origin a sp (fun m ctx s ->
+          match Access.of_stmt a m ctx s with
+          | None -> ()
+          | Some (targets, is_write) ->
+              List.iter
+                (fun target ->
+                  compute_origin_sharing t ~site:s.O2_ir.Ast.sid ~target
+                    ~origin ~is_write;
+                  match target with
+                  | Access.Tfield (oid, _) -> touch t origin oid
+                  | Access.Tstatic _ -> ())
+                targets))
+    (Solver.spawns a);
+  t
+
+let freeze target (s : mut_sharing) =
+  { sh_target = target; sh_readers = s.readers; sh_writers = s.writers }
+
+let sharing_of t target =
+  Option.map (freeze target) (Hashtbl.find_opt t.locs target)
+
+let shared_locations t =
+  Hashtbl.fold
+    (fun target s acc ->
+      let sh = freeze target s in
+      if is_shared sh then sh :: acc else acc)
+    t.locs []
+  |> List.sort (fun a b -> Access.compare_target a.sh_target b.sh_target)
+
+let is_shared_target t target =
+  match sharing_of t target with Some sh -> is_shared sh | None -> false
+
+let n_shared_accesses t =
+  List.filter (fun (_, target, _, _) -> is_shared_target t target) t.accesses
+  |> List.map (fun (site, target, _, w) -> (site, target, w))
+  |> List.sort_uniq compare |> List.length
+
+let n_shared_objects t =
+  Hashtbl.fold
+    (fun target s acc ->
+      if is_shared (freeze target s) then
+        (match target with
+        | Access.Tfield (oid, _) -> `Obj oid
+        | Access.Tstatic (c, _) -> `Static c)
+        :: acc
+      else acc)
+    t.locs []
+  |> List.sort_uniq compare |> List.length
+
+let n_shared_object_sites a t =
+  Hashtbl.fold
+    (fun target s acc ->
+      if is_shared (freeze target s) then
+        (match target with
+        | Access.Tfield (oid, _) ->
+            let o = Pag.obj (Solver.pag a) oid in
+            `Site o.Pag.ob_site
+        | Access.Tstatic (c, _) -> `Static c)
+        :: acc
+      else acc)
+    t.locs []
+  |> List.sort_uniq compare |> List.length
+
+let origin_local_objects t spawn_id =
+  let origin =
+    if spawn_id >= 0 && spawn_id < Array.length t.key_of_spawn then
+      t.key_of_spawn.(spawn_id)
+    else spawn_id
+  in
+  match Hashtbl.find_opt t.touched origin with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold
+        (fun oid () acc ->
+          let shared_somewhere =
+            Hashtbl.fold
+              (fun target s acc2 ->
+                acc2
+                ||
+                match target with
+                | Access.Tfield (o, _) when o = oid ->
+                    let sh = freeze target s in
+                    let others =
+                      List.filter
+                        (fun og -> og <> origin)
+                        (sh.sh_readers @ sh.sh_writers)
+                    in
+                    others <> []
+                | _ -> false)
+              t.locs false
+          in
+          if shared_somewhere then acc else oid :: acc)
+        tbl []
+      |> List.sort compare
+
+let pp a ppf t =
+  let sps = Solver.spawns a in
+  let name key =
+    (* recover a representative spawn for an origin key *)
+    let found = ref None in
+    Array.iteri
+      (fun i k -> if k = key && !found = None then found := Some i)
+      t.key_of_spawn;
+    match !found with
+    | None -> Printf.sprintf "O%d" key
+    | Some id ->
+      let sp = sps.(id) in
+      if sp.Solver.sp_kind = `Main then "Main"
+      else
+        Printf.sprintf "%s.%s@%d" sp.Solver.sp_entry.O2_ir.Program.m_class
+          sp.Solver.sp_entry.O2_ir.Program.m_name sp.Solver.sp_site
+  in
+  Format.fprintf ppf "@[<v>origin-shared locations:@,";
+  List.iter
+    (fun sh ->
+      Format.fprintf ppf "  %a  readers={%s} writers={%s}@,"
+        (Access.pp_target a) sh.sh_target
+        (String.concat "," (List.map name (List.sort compare sh.sh_readers)))
+        (String.concat "," (List.map name (List.sort compare sh.sh_writers))))
+    (shared_locations t);
+  Format.fprintf ppf "@]"

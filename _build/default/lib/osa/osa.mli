@@ -1,0 +1,69 @@
+(** Origin-sharing analysis (Algorithm 1, §3.3).
+
+    A linear scan over the statements reachable from each origin's entry,
+    maintaining per abstract location (⟨object⟩.field or static field) the
+    set of origins that read it and the set that write it. A location is
+    {e origin-shared} iff at least two distinct origins access it and at
+    least one of them writes (ComputeOriginSharing). Unlike classical
+    thread-escape analysis, OSA answers {e how} a location is shared — which
+    origins read, which write — and handles arrays through the ["*"]
+    field and statics through their class-qualified signature.
+
+    The origins here are the solver's {!O2_pta.Solver.spawn}s, so OSA (and
+    the race engine above it) runs under every pointer-analysis policy; its
+    precision then reflects the policy's, which is what Tables 7–9
+    measure. *)
+
+open O2_pta
+
+(** Sharing information for one abstract location. *)
+type sharing = {
+  sh_target : Access.target;
+  sh_readers : int list;  (** spawn ids that read the location *)
+  sh_writers : int list;  (** spawn ids that write the location *)
+}
+
+(** [is_shared s] is the paper's origin-shared predicate: ≥2 distinct
+    accessing origins, at least one writing. *)
+val is_shared : sharing -> bool
+
+type t
+
+(** [run a] scans all origins of the analysis result [a]. *)
+val run : Solver.t -> t
+
+(** [sharing_of t target] is the recorded sharing for a location, if any
+    origin accessed it. *)
+val sharing_of : t -> Access.target -> sharing option
+
+(** [shared_locations t] lists all origin-shared locations. *)
+val shared_locations : t -> sharing list
+
+(** [is_shared_target t target] is true iff [target] is origin-shared. *)
+val is_shared_target : t -> Access.target -> bool
+
+(** [n_shared_accesses t] counts access {e sites} (statement, target
+    object-resolution included) that touch an origin-shared location — the
+    paper's #S-access metric (Table 7). *)
+val n_shared_accesses : t -> int
+
+(** [n_shared_objects t] counts distinct abstract objects with at least one
+    origin-shared field (statics count one object per class) — the paper's
+    #S-obj metric (Table 9). *)
+val n_shared_objects : t -> int
+
+(** [n_shared_object_sites a t] is the same count by {e allocation site}
+    instead of abstract object — the policy-comparable variant (context
+    policies split one site into many abstract objects, which would
+    otherwise inflate the more precise analyses' counts). *)
+val n_shared_object_sites : Solver.t -> t -> int
+
+(** [origin_local_objects t sp] lists abstract objects accessed only by
+    origin [sp] — the "origin-local" part of the OSA output of Figure 2(d),
+    which §5.4 uses to report that most Linux-kernel memory is
+    origin-local. *)
+val origin_local_objects : t -> int -> int list
+
+(** [pp] renders the Figure 2(d)-style report: per origin-shared location,
+    the reading and writing origins. *)
+val pp : Solver.t -> Format.formatter -> t -> unit

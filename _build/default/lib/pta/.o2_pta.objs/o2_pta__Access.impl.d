@@ -1,0 +1,1 @@
+lib/pta/access.ml: Ast Format O2_ir O2_util Pag Solver Types

@@ -1,0 +1,1 @@
+lib/pta/access.mli: Ast Context Format O2_ir Program Solver Types

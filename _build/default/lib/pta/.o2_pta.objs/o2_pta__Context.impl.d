@@ -1,0 +1,1 @@
+lib/pta/context.ml: Fmt Format Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/pta/context.mli: Format

@@ -1,0 +1,1 @@
+lib/pta/pag.ml: Array Bitset Context Hashtbl Intern List O2_ir O2_util Types

@@ -1,0 +1,1 @@
+lib/pta/pag.mli: Context O2_ir O2_util Types

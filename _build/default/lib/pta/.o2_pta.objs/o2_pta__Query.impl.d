@@ -1,0 +1,1 @@
+lib/pta/query.ml: Ast Context Format List O2_ir O2_util Pag Program Solver Types

@@ -1,0 +1,1 @@
+lib/pta/query.mli: Format O2_ir Solver Types

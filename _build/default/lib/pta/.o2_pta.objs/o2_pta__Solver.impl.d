@@ -1,0 +1,1 @@
+lib/pta/solver.ml: Array Ast Bitset Context Hashtbl Intern List O2_ir O2_util Option Pag Program Stats Types

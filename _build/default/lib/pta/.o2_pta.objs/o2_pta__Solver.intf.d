@@ -1,0 +1,1 @@
+lib/pta/solver.mli: Context O2_ir O2_util Pag Program Types

@@ -1,0 +1,1 @@
+lib/pta/walk.ml: Ast Hashtbl List O2_ir Program Solver

@@ -1,0 +1,1 @@
+lib/pta/walk.mli: Ast Context O2_ir Program Solver

@@ -1,0 +1,32 @@
+open O2_ir
+
+type target =
+  | Tfield of int * Types.fname
+  | Tstatic of Types.cname * Types.fname
+
+let compare_target = compare
+let equal_target a b = a = b
+
+let pp_target a ppf = function
+  | Tfield (oid, f) ->
+      let o = Pag.obj (Solver.pag a) oid in
+      if f = "*" then
+        Format.fprintf ppf "%s@%d[*]" o.Pag.ob_class o.Pag.ob_site
+      else Format.fprintf ppf "%s@%d.%s" o.Pag.ob_class o.Pag.ob_site f
+  | Tstatic (c, f) -> Format.fprintf ppf "%s::%s" c f
+
+let base_targets a m ctx base field =
+  O2_util.Bitset.fold
+    (fun oid acc -> Tfield (oid, field) :: acc)
+    (Solver.pts_var a m ctx base)
+    []
+
+let of_stmt a m ctx (s : Ast.stmt) =
+  match s.Ast.sk with
+  | Ast.FieldWrite (x, f, _) -> Some (base_targets a m ctx x f, true)
+  | Ast.FieldRead (_, y, f) -> Some (base_targets a m ctx y f, false)
+  | Ast.ArrayWrite (x, _) -> Some (base_targets a m ctx x "*", true)
+  | Ast.ArrayRead (_, y) -> Some (base_targets a m ctx y "*", false)
+  | Ast.StaticWrite (c, f, _) -> Some ([ Tstatic (c, f) ], true)
+  | Ast.StaticRead (_, c, f) -> Some ([ Tstatic (c, f) ], false)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** Abstract memory-access targets.
+
+    A target identifies the abstract location a statement reads or writes:
+    an ⟨object, field⟩ pair (arrays use the ["*"] field, §3.2) or a static
+    field encoded by its class-qualified signature (§3.3). Shared between
+    origin-sharing analysis, the SHB graph and the race engine. *)
+
+open O2_ir
+
+type target =
+  | Tfield of int * Types.fname  (** field of interned abstract object *)
+  | Tstatic of Types.cname * Types.fname
+
+val compare_target : target -> target -> int
+val equal_target : target -> target -> bool
+
+(** [pp_target a ppf t] prints e.g. [Data@12.val] or [Settings::verbose]. *)
+val pp_target : Solver.t -> Format.formatter -> target -> unit
+
+(** [of_stmt a m ctx s] is the access performed by statement [s] of method
+    instance ⟨m, ctx⟩: the targets (one per abstract object the base may
+    point to) and whether it is a write. [None] for non-access statements. *)
+val of_stmt :
+  Solver.t ->
+  Program.meth ->
+  Context.t ->
+  Ast.stmt ->
+  (target list * bool) option

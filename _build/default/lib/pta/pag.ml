@@ -1,0 +1,121 @@
+open O2_ir
+open O2_util
+
+type obj = { ob_site : int; ob_class : Types.cname; ob_hctx : Context.t }
+
+type node =
+  | NVar of Types.cname * Types.mname * Types.vname * Context.t
+  | NRet of Types.cname * Types.mname * Context.t
+  | NField of int * Types.fname
+  | NStatic of Types.cname * Types.fname
+
+module ObjIntern = Intern.Make (struct
+  type t = obj
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+module NodeIntern = Intern.Make (struct
+  type t = node
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  objs : ObjIntern.t;
+  nodes : NodeIntern.t;
+  mutable pts : Bitset.t array;
+  succs : (int, int list ref) Hashtbl.t;
+  edge_set : (int * int, unit) Hashtbl.t;
+  watchers : (int, (int -> unit) list ref) Hashtbl.t;
+  mutable worklist : (int * int list) list;  (* (node, delta objs), LIFO *)
+}
+
+let create () =
+  {
+    objs = ObjIntern.create ();
+    nodes = NodeIntern.create ();
+    pts = [||];
+    succs = Hashtbl.create 256;
+    edge_set = Hashtbl.create 256;
+    watchers = Hashtbl.create 64;
+    worklist = [];
+  }
+
+let obj_id g o = ObjIntern.intern g.objs o
+let obj g id = ObjIntern.value g.objs id
+let n_objs g = ObjIntern.count g.objs
+
+let ensure_pts g id =
+  let n = Array.length g.pts in
+  if id >= n then begin
+    let cap = max 64 (max (id + 1) (n * 2)) in
+    let a = Array.init cap (fun i -> if i < n then g.pts.(i) else Bitset.create ()) in
+    g.pts <- a
+  end
+
+let node_id g n =
+  let id = NodeIntern.intern g.nodes n in
+  ensure_pts g id;
+  id
+
+let node g id = NodeIntern.value g.nodes id
+let n_nodes g = NodeIntern.count g.nodes
+let n_edges g = Hashtbl.length g.edge_set
+let pts g id = g.pts.(id)
+
+let schedule g n delta = if delta <> [] then g.worklist <- (n, delta) :: g.worklist
+
+let add_obj g n o =
+  if Bitset.add g.pts.(n) o then schedule g n [ o ]
+
+let add_copy g ~src ~dst =
+  if src <> dst && not (Hashtbl.mem g.edge_set (src, dst)) then begin
+    Hashtbl.add g.edge_set (src, dst) ();
+    (match Hashtbl.find_opt g.succs src with
+    | Some l -> l := dst :: !l
+    | None -> Hashtbl.add g.succs src (ref [ dst ]));
+    (* propagate current contents of src *)
+    let delta =
+      Bitset.fold (fun o acc -> if Bitset.add g.pts.(dst) o then o :: acc else acc)
+        g.pts.(src) []
+    in
+    schedule g dst delta
+  end
+
+let add_watcher g n f =
+  (match Hashtbl.find_opt g.watchers n with
+  | Some l -> l := f :: !l
+  | None -> Hashtbl.add g.watchers n (ref [ f ]));
+  Bitset.iter f g.pts.(n)
+
+let solve g =
+  let rec loop () =
+    match g.worklist with
+    | [] -> ()
+    | (n, delta) :: rest ->
+        g.worklist <- rest;
+        (* copy propagation *)
+        (match Hashtbl.find_opt g.succs n with
+        | Some l ->
+            List.iter
+              (fun dst ->
+                let fresh =
+                  List.filter (fun o -> Bitset.add g.pts.(dst) o) delta
+                in
+                schedule g dst fresh)
+              !l
+        | None -> ());
+        (* watchers *)
+        (match Hashtbl.find_opt g.watchers n with
+        | Some l ->
+            let fs = !l in
+            List.iter (fun o -> List.iter (fun f -> f o) fs) delta
+        | None -> ());
+        loop ()
+  in
+  loop ()
+
+let iter_nodes f g = NodeIntern.iter (fun id n -> f id n g.pts.(id)) g.nodes

@@ -1,0 +1,69 @@
+(** The pointer assignment graph and its difference-propagation worklist.
+
+    Nodes are interned pointers (variables, returns, object fields, static
+    fields); points-to sets are bitsets of interned abstract-object ids.
+    Complex constraints (loads, stores, virtual calls, origin entries) are
+    {e watchers}: callbacks invoked once per new object reaching a base
+    node, which is how the call graph is built on the fly (§3.2, "the PAG
+    constructed by OPA is built together with the call graph"). *)
+
+open O2_ir
+
+(** An abstract heap object ⟨allocation site, heap context⟩ (Table 2 ❶). *)
+type obj = { ob_site : int; ob_class : Types.cname; ob_hctx : Context.t }
+
+type node =
+  | NVar of Types.cname * Types.mname * Types.vname * Context.t
+      (** a local/param under a context: ⟨x, 𝕆ᵢ⟩ *)
+  | NRet of Types.cname * Types.mname * Context.t
+      (** a method's return pointer *)
+  | NField of int * Types.fname
+      (** an object-field pointer ⟨o, 𝕆ₖ⟩.f; [int] is the object id; arrays
+          use the ["*"] field *)
+  | NStatic of Types.cname * Types.fname  (** a static field *)
+
+type t
+
+val create : unit -> t
+
+(** [obj_id g o] interns an abstract object. *)
+val obj_id : t -> obj -> int
+
+(** [obj g id] recovers an interned object. *)
+val obj : t -> int -> obj
+
+(** [n_objs g] is the number of distinct abstract objects. *)
+val n_objs : t -> int
+
+(** [node_id g n] interns a PAG node. *)
+val node_id : t -> node -> int
+
+(** [node g id] recovers an interned node. *)
+val node : t -> int -> node
+
+(** [n_nodes g] is the number of pointer nodes (the paper's #Pointer). *)
+val n_nodes : t -> int
+
+(** [n_edges g] is the number of copy edges (the paper's #Edge). *)
+val n_edges : t -> int
+
+(** [pts g n] is the current points-to set of node [n] (do not mutate). *)
+val pts : t -> int -> O2_util.Bitset.t
+
+(** [add_obj g n o] adds object [o] to [pts n], scheduling propagation. *)
+val add_obj : t -> int -> int -> unit
+
+(** [add_copy g ~src ~dst] adds a subset edge [pts src ⊆ pts dst];
+    idempotent; propagates the current contents of [src]. *)
+val add_copy : t -> src:int -> dst:int -> unit
+
+(** [add_watcher g n f] registers [f] to run on every object in [pts n],
+    now and in the future. Watchers may add edges, objects and watchers. *)
+val add_watcher : t -> int -> (int -> unit) -> unit
+
+(** [solve g] drains the worklist to fixpoint. Reentrant: may be called
+    again after adding more constraints. *)
+val solve : t -> unit
+
+(** [iter_nodes f g] applies [f id node pts] to every node. *)
+val iter_nodes : (int -> node -> O2_util.Bitset.t -> unit) -> t -> unit

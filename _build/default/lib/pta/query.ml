@@ -1,0 +1,79 @@
+open O2_ir
+
+type obj_info = {
+  oi_id : int;
+  oi_class : Types.cname;
+  oi_site : int;
+  oi_pos : Types.pos;
+  oi_origin : string;
+}
+
+let obj_info a oid =
+  let o = Pag.obj (Solver.pag a) oid in
+  let pos =
+    if o.Pag.ob_site >= 0 then
+      let s, _ = Program.stmt (Solver.program a) o.Pag.ob_site in
+      s.Ast.pos
+    else Types.dummy_pos
+  in
+  {
+    oi_id = oid;
+    oi_class = o.Pag.ob_class;
+    oi_site = o.Pag.ob_site;
+    oi_pos = pos;
+    oi_origin = Format.asprintf "%a" Context.pp o.Pag.ob_hctx;
+  }
+
+let pts_ids a ~cls ~meth ~var =
+  List.concat_map
+    (fun ((m : Program.meth), ctx) ->
+      if m.Program.m_class = cls && m.Program.m_name = meth then
+        O2_util.Bitset.elements (Solver.pts_var a m ctx var)
+      else [])
+    (Solver.reached a)
+  |> List.sort_uniq compare
+
+let points_to a ~cls ~meth ~var =
+  List.map (obj_info a) (pts_ids a ~cls ~meth ~var)
+
+let may_alias a (c1, m1, v1) (c2, m2, v2) =
+  let s1 = pts_ids a ~cls:c1 ~meth:m1 ~var:v1 in
+  let s2 = pts_ids a ~cls:c2 ~meth:m2 ~var:v2 in
+  List.exists (fun o -> List.mem o s2) s1
+
+let objects_of_class a cls =
+  let pag = Solver.pag a in
+  let out = ref [] in
+  for oid = 0 to Pag.n_objs pag - 1 do
+    if (Pag.obj pag oid).Pag.ob_class = cls then out := obj_info a oid :: !out
+  done;
+  List.rev !out
+
+let meth_name (m : Program.meth) = m.Program.m_class ^ "." ^ m.Program.m_name
+
+let call_graph_edges a =
+  let p = Solver.program a in
+  let edges = ref [] in
+  List.iter
+    (fun ((m : Program.meth), ctx) ->
+      Ast.iter_stmts
+        (fun s ->
+          match s.Ast.sk with
+          | Ast.Call _ | Ast.StaticCall _ | Ast.New _ ->
+              List.iter
+                (fun ((callee : Program.meth), _) ->
+                  edges := (meth_name m, meth_name callee, s.Ast.sid) :: !edges)
+                (Solver.callees a ~site:s.Ast.sid ~ctx)
+          | _ -> ())
+        m.Program.m_body)
+    (Solver.reached a);
+  ignore p;
+  List.sort_uniq compare !edges
+
+let reachable_methods a =
+  List.map (fun (m, _) -> meth_name m) (Solver.reached a)
+  |> List.sort_uniq compare
+
+let pp_obj_info ppf oi =
+  Format.fprintf ppf "%s@%d (alloc %a, ctx %s)" oi.oi_class oi.oi_site
+    Types.pp_pos oi.oi_pos oi.oi_origin

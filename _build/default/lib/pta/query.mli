@@ -1,0 +1,44 @@
+(** High-level queries over a solved analysis — the API a downstream client
+    (IDE plugin, another analysis) would consume, and what the CLI's [pts]
+    command prints.
+
+    Beyond race detection, §3 positions OPA/OSA as a substrate "for any
+    analysis that requires analyzing pointers or ownership"; this module is
+    that entry point. *)
+
+open O2_ir
+
+(** A resolved abstract object, human-readable. *)
+type obj_info = {
+  oi_id : int;
+  oi_class : Types.cname;
+  oi_site : int;  (** allocation statement id; -1 synthetic *)
+  oi_pos : Types.pos;  (** allocation site position *)
+  oi_origin : string;  (** rendered heap context *)
+}
+
+(** [points_to a ~cls ~meth ~var] is the points-to set of local [var] of
+    [cls.meth], unioned over every context the method was analyzed under. *)
+val points_to :
+  Solver.t -> cls:Types.cname -> meth:Types.mname -> var:Types.vname -> obj_info list
+
+(** [may_alias a (c1,m1,v1) (c2,m2,v2)] is true iff the two locals may point
+    to a common abstract object (in any context combination). *)
+val may_alias :
+  Solver.t ->
+  Types.cname * Types.mname * Types.vname ->
+  Types.cname * Types.mname * Types.vname ->
+  bool
+
+(** [objects_of_class a cls] lists all abstract objects of class [cls]. *)
+val objects_of_class : Solver.t -> Types.cname -> obj_info list
+
+(** [call_graph_edges a] lists resolved call edges as
+    [(caller "C.m", callee "D.n", call-site sid)], deduplicated — the
+    origin-sensitive call graph of Figure 2(b), flattened. *)
+val call_graph_edges : Solver.t -> (string * string * int) list
+
+(** [reachable_methods a] lists "C.m" names of analyzed methods. *)
+val reachable_methods : Solver.t -> string list
+
+val pp_obj_info : Format.formatter -> obj_info -> unit

@@ -1,0 +1,478 @@
+open O2_ir
+open O2_util
+
+type spawn = {
+  sp_id : int;
+  sp_site : int;
+  sp_entry : Program.meth;
+  sp_ectx : Context.t;
+  sp_obj : int;
+  sp_kind : [ `Main | `Thread | `Event ];
+  sp_in_loop : bool;
+  sp_attr_nodes : int list;
+}
+
+type join = {
+  jn_site : int;
+  jn_meth : Program.meth;
+  jn_ctx : Context.t;
+  jn_var : Types.vname;
+}
+
+module OriginIntern = Intern.Make (struct
+  type t = Context.origin
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+type meth_key = Types.cname * Types.mname * Context.t
+
+type reach_info = {
+  mutable incoming : int list;  (* call-site sids reaching this instance *)
+  mutable processed : bool;
+  mutable origin_allocs : (int -> unit) list;
+      (* wrapper-site redo closures for origin allocations in this body *)
+}
+
+type t = {
+  program : Program.t;
+  policy : Context.policy;
+  pag : Pag.t;
+  reach_tbl : (meth_key, reach_info) Hashtbl.t;
+  call_edges : (int * Context.t, (Program.meth * Context.t) list ref) Hashtbl.t;
+  mutable spawn_list : spawn list;
+  spawn_keys : (int * Types.cname * Types.mname * Context.t * int, unit) Hashtbl.t;
+  mutable join_list : join list;
+  origin_reg : OriginIntern.t;
+  origin_attr_nodes : (int, int list ref) Hashtbl.t;
+  stats : Stats.t;
+  mutable spawn_arr : spawn array;  (* finalized *)
+}
+
+exception Analysis_error of string
+
+(* ----------------------------------------------------------------------- *)
+
+let nvar st (m : Program.meth) ctx v =
+  Pag.node_id st.pag (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
+
+let nret st (m : Program.meth) ctx =
+  Pag.node_id st.pag (Pag.NRet (m.Program.m_class, m.Program.m_name, ctx))
+
+let record_call_edge st ~site ~ctx callee =
+  let key = (site, ctx) in
+  match Hashtbl.find_opt st.call_edges key with
+  | Some l -> if not (List.mem callee !l) then l := callee :: !l
+  | None -> Hashtbl.add st.call_edges key (ref [ callee ])
+
+let record_spawn st ~site ~entry ~ectx ~obj ~kind ~in_loop ~attr_nodes =
+  let key =
+    (site, entry.Program.m_class, entry.Program.m_name, ectx, obj)
+  in
+  if not (Hashtbl.mem st.spawn_keys key) then begin
+    Hashtbl.add st.spawn_keys key ();
+    let sp =
+      {
+        sp_id = -1;
+        sp_site = site;
+        sp_entry = entry;
+        sp_ectx = ectx;
+        sp_obj = obj;
+        sp_kind = kind;
+        sp_in_loop = in_loop;
+        sp_attr_nodes = attr_nodes;
+      }
+    in
+    st.spawn_list <- sp :: st.spawn_list
+  end
+
+let heap_ctx policy (ctx : Context.t) : Context.t =
+  match policy with Context.Insensitive -> Context.Cempty | _ -> ctx
+
+(* ----------------------------------------------------------------------- *)
+
+let rec reach st ?(via_site = -1) (m : Program.meth) (ctx : Context.t) =
+  let key = (m.Program.m_class, m.Program.m_name, ctx) in
+  let info =
+    match Hashtbl.find_opt st.reach_tbl key with
+    | Some i -> i
+    | None ->
+        let i = { incoming = []; processed = false; origin_allocs = [] } in
+        Hashtbl.add st.reach_tbl key i;
+        i
+  in
+  let new_site = via_site >= 0 && not (List.mem via_site info.incoming) in
+  if new_site then info.incoming <- via_site :: info.incoming;
+  if not info.processed then begin
+    info.processed <- true;
+    process_body st m ctx info m.Program.m_body
+  end
+  else if new_site then
+    (* the paper's k=1 wrapper extension: a new call site reaching a method
+       that contains origin allocations yields fresh origins *)
+    List.iter (fun redo -> redo via_site) info.origin_allocs
+
+and process_body st (m : Program.meth) ctx info body =
+  List.iter (fun s -> process_stmt st m ctx info s) body
+
+and process_stmt st (m : Program.meth) ctx info (s : Ast.stmt) =
+  let site = s.Ast.sid in
+  let p = st.program in
+  let policy = st.policy in
+  match s.Ast.sk with
+  | Ast.Null _ | Ast.Return None | Ast.Signal _ | Ast.Wait _ -> ()
+  | Ast.Join x ->
+      st.join_list <-
+        { jn_site = site; jn_meth = m; jn_ctx = ctx; jn_var = x }
+        :: st.join_list
+  | Ast.Assign (x, y) ->
+      Pag.add_copy st.pag ~src:(nvar st m ctx y) ~dst:(nvar st m ctx x)
+  | Ast.New (x, c, args) -> process_new st m ctx info ~site ~x ~c ~args
+  | Ast.FieldWrite (x, f, y) ->
+      let ynode = nvar st m ctx y in
+      Pag.add_watcher st.pag (nvar st m ctx x) (fun o ->
+          Pag.add_copy st.pag ~src:ynode ~dst:(Pag.node_id st.pag (Pag.NField (o, f))))
+  | Ast.FieldRead (x, y, f) ->
+      let xnode = nvar st m ctx x in
+      Pag.add_watcher st.pag (nvar st m ctx y) (fun o ->
+          Pag.add_copy st.pag ~src:(Pag.node_id st.pag (Pag.NField (o, f))) ~dst:xnode)
+  | Ast.ArrayWrite (x, y) ->
+      let ynode = nvar st m ctx y in
+      Pag.add_watcher st.pag (nvar st m ctx x) (fun o ->
+          Pag.add_copy st.pag ~src:ynode ~dst:(Pag.node_id st.pag (Pag.NField (o, "*"))))
+  | Ast.ArrayRead (x, y) ->
+      let xnode = nvar st m ctx x in
+      Pag.add_watcher st.pag (nvar st m ctx y) (fun o ->
+          Pag.add_copy st.pag ~src:(Pag.node_id st.pag (Pag.NField (o, "*"))) ~dst:xnode)
+  | Ast.StaticWrite (c, f, y) ->
+      Pag.add_copy st.pag ~src:(nvar st m ctx y)
+        ~dst:(Pag.node_id st.pag (Pag.NStatic (c, f)))
+  | Ast.StaticRead (x, c, f) ->
+      Pag.add_copy st.pag ~src:(Pag.node_id st.pag (Pag.NStatic (c, f)))
+        ~dst:(nvar st m ctx x)
+  | Ast.Call (ret, y, mname, args) ->
+      let arg_nodes = List.map (nvar st m ctx) args in
+      let ret_node = Option.map (nvar st m ctx) ret in
+      (* §4.3: a call to a function whose body does not exist anywhere in
+         the program is external; its result is an anonymous object so
+         downstream accesses are still analyzed *)
+      if not (Program.any_method_named p mname) then begin
+        match ret_node with
+        | Some r ->
+            let hctx = heap_ctx policy ctx in
+            let oid =
+              Pag.obj_id st.pag
+                { Pag.ob_site = site; ob_class = "<external>"; ob_hctx = hctx }
+            in
+            Pag.add_obj st.pag r oid
+        | None -> ()
+      end;
+      Pag.add_watcher st.pag (nvar st m ctx y) (fun oid ->
+          let o = Pag.obj st.pag oid in
+          match Program.dispatch p o.Pag.ob_class mname with
+          | None -> ()
+          | Some target ->
+              let cctx =
+                Context.push_call policy ~ctx ~site ~recv_site:o.Pag.ob_site
+                  ~recv_hctx:o.Pag.ob_hctx
+              in
+              bind_call st ~site ~ctx ~target ~cctx ~this:(Some oid) ~arg_nodes
+                ~ret_node)
+  | Ast.StaticCall (ret, c, mname, args) -> (
+      match Program.static_method p c mname with
+      | None -> ()
+      | Some target ->
+          let cctx = Context.push_call_static policy ~ctx ~site in
+          let arg_nodes = List.map (nvar st m ctx) args in
+          let ret_node = Option.map (nvar st m ctx) ret in
+          bind_call st ~site ~ctx ~target ~cctx ~this:None ~arg_nodes ~ret_node)
+  | Ast.Start x ->
+      let in_loop = Program.stmt_in_loop p site in
+      Pag.add_watcher st.pag (nvar st m ctx x) (fun oid ->
+          let o = Pag.obj st.pag oid in
+          match Program.kind_of p o.Pag.ob_class with
+          | Program.Kthread _ -> (
+              match Program.entry_method p o.Pag.ob_class with
+              | None -> ()
+              | Some entry ->
+                  let ectx = entry_ctx st ~ctx ~site ~oid ~o in
+                  reach st entry ectx;
+                  Pag.add_obj st.pag (nvar st entry ectx "this") oid;
+                  record_spawn st ~site ~entry ~ectx ~obj:oid ~kind:`Thread
+                    ~in_loop ~attr_nodes:(origin_attr_nodes_of st o))
+          | _ -> ())
+  | Ast.Post (x, args) ->
+      let in_loop = Program.stmt_in_loop p site in
+      let arg_nodes = List.map (nvar st m ctx) args in
+      Pag.add_watcher st.pag (nvar st m ctx x) (fun oid ->
+          let o = Pag.obj st.pag oid in
+          match Program.kind_of p o.Pag.ob_class with
+          | Program.Khandler _ -> (
+              match Program.entry_method p o.Pag.ob_class with
+              | None -> ()
+              | Some entry ->
+                  let ectx = entry_ctx st ~ctx ~site ~oid ~o in
+                  reach st entry ectx;
+                  Pag.add_obj st.pag (nvar st entry ectx "this") oid;
+                  bind_params st entry ectx arg_nodes;
+                  record_spawn st ~site ~entry ~ectx ~obj:oid ~kind:`Event
+                    ~in_loop
+                    ~attr_nodes:(arg_nodes @ origin_attr_nodes_of st o))
+          | _ -> ())
+  | Ast.Sync (_, body) -> process_body st m ctx info body
+  | Ast.If (a, b) ->
+      process_body st m ctx info a;
+      process_body st m ctx info b
+  | Ast.While body -> process_body st m ctx info body
+  | Ast.Return (Some v) ->
+      Pag.add_copy st.pag ~src:(nvar st m ctx v) ~dst:(nret st m ctx)
+
+(* Formal-parameter binding: actuals use the caller's context, formals the
+   callee's (Table 2 ❽/❾ ownership note). *)
+and bind_params st (target : Program.meth) cctx arg_nodes =
+  List.iteri
+    (fun i param ->
+      match List.nth_opt arg_nodes i with
+      | Some a -> Pag.add_copy st.pag ~src:a ~dst:(nvar st target cctx param)
+      | None -> ())
+    target.Program.m_params
+
+and bind_call st ~site ~ctx ~target ~cctx ~this ~arg_nodes ~ret_node =
+  reach st ~via_site:site target cctx;
+  (match this with
+  | Some oid -> Pag.add_obj st.pag (nvar st target cctx "this") oid
+  | None -> ());
+  bind_params st target cctx arg_nodes;
+  (match ret_node with
+  | Some r -> Pag.add_copy st.pag ~src:(nret st target cctx) ~dst:r
+  | None -> ());
+  record_call_edge st ~site ~ctx (target, cctx)
+
+(* Context for a thread/handler entry (Table 2 ❾): under the origin policy
+   the origin was attached to the object at its allocation — the entry runs
+   in the object's heap context. Other policies use their usual call rule. *)
+and entry_ctx st ~ctx ~site ~oid ~(o : Pag.obj) =
+  match st.policy with
+  | Context.Korigin _ -> o.Pag.ob_hctx
+  | policy ->
+      ignore oid;
+      Context.push_call policy ~ctx ~site ~recv_site:o.Pag.ob_site
+        ~recv_hctx:o.Pag.ob_hctx
+
+(* Attribute nodes of the origin carried by object [o]: registered at the
+   origin allocation (origin policy); empty otherwise. *)
+and origin_attr_nodes_of st (o : Pag.obj) =
+  match o.Pag.ob_hctx with
+  | Context.Corigin (og :: _) -> (
+      match Hashtbl.find_opt st.origin_attr_nodes og with
+      | Some l -> !l
+      | None -> [])
+  | _ -> []
+
+and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
+  let p = st.program in
+  let policy = st.policy in
+  let arg_nodes = List.map (nvar st m ctx) args in
+  let xnode = nvar st m ctx x in
+  let is_origin_alloc =
+    match (policy, Program.kind_of p c) with
+    | Context.Korigin _, (Program.Kthread _ | Program.Khandler _) -> true
+    | _ -> false
+  in
+  if not is_origin_alloc then begin
+    let hctx = heap_ctx policy ctx in
+    let oid = Pag.obj_id st.pag { Pag.ob_site = site; ob_class = c; ob_hctx = hctx } in
+    Pag.add_obj st.pag xnode oid;
+    match Program.dispatch p c "init" with
+    | None -> ()
+    | Some init ->
+        let cctx =
+          Context.push_call policy ~ctx ~site ~recv_site:site ~recv_hctx:hctx
+        in
+        bind_call st ~site ~ctx ~target:init ~cctx ~this:(Some oid) ~arg_nodes
+          ~ret_node:None
+  end
+  else begin
+    (* Table 2 rule ❽: context switch at the origin allocation. "A new and
+       unique origin is created for this new allocation": identity includes
+       the immediate parent origin, so e.g. each copy of a loop-doubled
+       parent spawns its own child origins (soundness of the doubling).
+       Recursive spawn chains are collapsed — when an ancestor origin was
+       created at this same allocation site, the parent is dropped from the
+       identity — keeping the registry finite. *)
+    let k = match policy with Context.Korigin k -> k | _ -> 1 in
+    let chain = match ctx with Context.Corigin ch -> ch | _ -> [ 0 ] in
+    let parent = match chain with pr :: _ -> pr | [] -> 0 in
+    let rec ancestry_has_site og_id =
+      og_id > 0
+      &&
+      let og = OriginIntern.value st.origin_reg og_id in
+      og.Context.og_site = site
+      ||
+      match og.Context.og_parent with
+      | pr :: _ -> ancestry_has_site pr
+      | [] -> false
+    in
+    let id_parent =
+      if parent = 0 || ancestry_has_site parent then [] else [ parent ]
+    in
+    let copies = if Program.stmt_in_loop p site then [ 0; 1 ] else [ 0 ] in
+    let alloc_under ~wrapper =
+      List.iter
+        (fun copy ->
+          let og : Context.origin =
+            {
+              Context.og_site = site;
+              og_wrapper = wrapper;
+              og_copy = copy;
+              og_class = c;
+              og_parent = id_parent;
+            }
+          in
+          let og_id = OriginIntern.intern st.origin_reg og in
+          (match Hashtbl.find_opt st.origin_attr_nodes og_id with
+          | Some l ->
+              List.iter
+                (fun a -> if not (List.mem a !l) then l := a :: !l)
+                arg_nodes
+          | None -> Hashtbl.add st.origin_attr_nodes og_id (ref arg_nodes));
+          let chain' = Context.truncate k (og_id :: chain) in
+          let hctx = Context.Corigin chain' in
+          let oid =
+            Pag.obj_id st.pag { Pag.ob_site = site; ob_class = c; ob_hctx = hctx }
+          in
+          Pag.add_obj st.pag xnode oid;
+          match Program.dispatch p c "init" with
+          | None -> ()
+          | Some init ->
+              (* the init and the constructor-argument formals live in the
+                 new origin (Figure 3) *)
+              bind_call st ~site ~ctx ~target:init ~cctx:hctx ~this:(Some oid)
+                ~arg_nodes ~ret_node:None)
+        copies
+    in
+    (* one origin per incoming wrapper call site known now; re-done for call
+       sites discovered later via the redo closure *)
+    (match info.incoming with
+    | [] -> alloc_under ~wrapper:(-1)
+    | sites -> List.iter (fun ws -> alloc_under ~wrapper:ws) sites);
+    info.origin_allocs <- (fun ws -> alloc_under ~wrapper:ws) :: info.origin_allocs
+  end
+
+(* ----------------------------------------------------------------------- *)
+
+let analyze ?(policy = Context.Korigin 1) program =
+  let st =
+    {
+      program;
+      policy;
+      pag = Pag.create ();
+      reach_tbl = Hashtbl.create 256;
+      call_edges = Hashtbl.create 256;
+      spawn_list = [];
+      spawn_keys = Hashtbl.create 64;
+      join_list = [];
+      origin_reg = OriginIntern.create ();
+      origin_attr_nodes = Hashtbl.create 64;
+      stats = Stats.create ();
+      spawn_arr = [||];
+    }
+  in
+  (* origin id 0 is main *)
+  let zero = OriginIntern.intern st.origin_reg Context.main_origin in
+  assert (zero = 0);
+  let main = Program.main program in
+  let ectx = Context.entry policy in
+  Stats.time st.stats "solve" (fun () ->
+      reach st main ectx;
+      Pag.solve st.pag;
+      (* watchers added during solving may have queued more work *)
+      Pag.solve st.pag);
+  record_spawn st ~site:(-1) ~entry:main ~ectx ~obj:(-1) ~kind:`Main
+    ~in_loop:false ~attr_nodes:[];
+  let sps =
+    List.rev st.spawn_list
+    |> List.sort (fun a b ->
+           match (a.sp_kind, b.sp_kind) with
+           | `Main, `Main -> 0
+           | `Main, _ -> -1
+           | _, `Main -> 1
+           | _ -> compare (a.sp_site, a.sp_obj) (b.sp_site, b.sp_obj))
+  in
+  st.spawn_arr <- Array.of_list (List.mapi (fun i sp -> { sp with sp_id = i }) sps);
+  Stats.set st.stats "n_pointers" (Pag.n_nodes st.pag);
+  Stats.set st.stats "n_objects" (Pag.n_objs st.pag);
+  Stats.set st.stats "n_edges" (Pag.n_edges st.pag);
+  Stats.set st.stats "n_reached" (Hashtbl.length st.reach_tbl);
+  st
+
+let program t = t.program
+let policy t = t.policy
+let pag t = t.pag
+
+let pts_var t (m : Program.meth) ctx v =
+  match
+    Pag.node_id t.pag (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
+  with
+  | id -> Pag.pts t.pag id
+
+let callees t ~site ~ctx =
+  match Hashtbl.find_opt t.call_edges (site, ctx) with
+  | Some l -> !l
+  | None -> []
+
+let spawns t = t.spawn_arr
+let joins t = t.join_list
+
+let origins t =
+  Array.init (OriginIntern.count t.origin_reg) (fun i ->
+      OriginIntern.value t.origin_reg i)
+
+let origin_attrs t og =
+  match Hashtbl.find_opt t.origin_attr_nodes og with
+  | None -> []
+  | Some nodes ->
+      List.concat_map
+        (fun n -> Bitset.elements (Pag.pts t.pag n))
+        !nodes
+      |> List.sort_uniq compare
+
+let reached t =
+  Hashtbl.fold
+    (fun (c, mn, ctx) info acc ->
+      if not info.processed then acc
+      else
+        match Program.find_class t.program c with
+        | Some _ -> (
+            match
+              List.find_opt
+                (fun (m : Program.meth) -> m.Program.m_name = mn)
+                (Program.methods_of t.program c)
+            with
+            | Some m -> (m, ctx) :: acc
+            | None -> acc)
+        | None -> acc)
+    t.reach_tbl []
+
+let is_reached t (m : Program.meth) =
+  Hashtbl.fold
+    (fun (c, mn, _) info acc ->
+      acc
+      || (info.processed && c = m.Program.m_class && mn = m.Program.m_name))
+    t.reach_tbl false
+
+let origin_of_spawn t (sp : spawn) =
+  match (t.policy, sp.sp_ectx) with
+  | Context.Korigin _, Context.Corigin (og :: _) -> og
+  | _ ->
+      (* other policies have no origin registry: each spawn is its own
+         origin; offset past the registry ids to keep the spaces disjoint *)
+      OriginIntern.count t.origin_reg + sp.sp_id
+
+let n_origins t =
+  match t.policy with
+  | Context.Korigin _ -> max 0 (OriginIntern.count t.origin_reg - 1)
+  | _ -> max 0 (Array.length t.spawn_arr - 1)
+
+let stats t = t.stats

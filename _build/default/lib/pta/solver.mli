@@ -1,0 +1,100 @@
+(** The on-the-fly-call-graph pointer-analysis solver (Table 2).
+
+    One worklist solver covers all four policies ({!Context.policy}); the
+    origin policy implements the paper's OPA rules:
+
+    - ❶–❻ intra-origin constraints: allocations, copies, field and array
+      loads/stores under the current context;
+    - ❼ non-origin virtual calls keep the {e caller's} context regardless of
+      the receiver's origin;
+    - ❽ origin allocations (a [new] of a thread/handler class) switch to a
+      fresh origin: the object, its [init] call and the constructor
+      arguments' formals live in the new origin (Figure 3's context switch),
+      with the [k=1] wrapper-call-site extension and loop doubling;
+    - ❾ origin entry points ([start]/[post]) run the entry method in the
+      origin attached to the receiver object at its allocation.
+
+    Besides points-to sets, the solver records everything the downstream
+    analyses need: the context-sensitive call graph, the {e spawns} (static
+    thread-start / event-post instances — the race engine's origins, under
+    every policy) and the join sites. *)
+
+open O2_ir
+
+(** A static origin instance: [main], a [start] of a thread object or a
+    [post] to a handler object. *)
+type spawn = {
+  sp_id : int;  (** dense index; 0 is [main] *)
+  sp_site : int;  (** the start/post sid; -1 for main *)
+  sp_entry : Program.meth;  (** entry method (run/handle/… or main) *)
+  sp_ectx : Context.t;  (** context the entry body is analyzed under *)
+  sp_obj : int;  (** receiver object id; -1 for main *)
+  sp_kind : [ `Main | `Thread | `Event ];
+  sp_in_loop : bool;
+      (** the spawn site is in a loop: the origin may run in parallel with
+          itself *)
+  sp_attr_nodes : int list;
+      (** PAG nodes of the origin attributes: the receiver plus the actuals
+          of the entry call (Table 2 ❾) and of the origin allocation (❽) *)
+}
+
+type join = {
+  jn_site : int;
+  jn_meth : Program.meth;
+  jn_ctx : Context.t;
+  jn_var : Types.vname;
+}
+
+type t
+
+exception Analysis_error of string
+
+(** [analyze ?policy p] runs the whole-program analysis from [main].
+    Default policy is [Korigin 1] (the paper's O2 configuration). *)
+val analyze : ?policy:Context.policy -> Program.t -> t
+
+val program : t -> Program.t
+val policy : t -> Context.policy
+val pag : t -> Pag.t
+
+(** [pts_var a m ctx v] is the points-to set of local [v] of method [m]
+    under context [ctx] (empty if never seen). *)
+val pts_var : t -> Program.meth -> Context.t -> Types.vname -> O2_util.Bitset.t
+
+(** [callees a ~site ~ctx] resolves a call site analyzed under [ctx] to its
+    callee instances; includes virtual, static and [init] calls, not
+    spawns. *)
+val callees : t -> site:int -> ctx:Context.t -> (Program.meth * Context.t) list
+
+(** [spawns a] lists all origin instances, [main] first. *)
+val spawns : t -> spawn array
+
+(** [joins a] lists join sites; targets resolve via [pts_var]. *)
+val joins : t -> join list
+
+(** [origins a] is the origin registry (origin policy only; other policies
+    see just the main origin). Indexed by origin id. *)
+val origins : t -> Context.origin array
+
+(** [origin_attrs a og] is the points-to closure of origin [og]'s attribute
+    pointers — "the data pointers" of §3.1, for reports and OSA output. *)
+val origin_attrs : t -> int -> int list
+
+(** [origin_of_spawn a sp] is the canonical origin identity of a spawn.
+    Under the origin policy two [post] sites delivering to the same handler
+    object are the {e same} origin (rule ❾ attaches the origin at the
+    allocation), so OSA must not count them as two accessors; under other
+    policies each spawn is its own origin. *)
+val origin_of_spawn : t -> spawn -> int
+
+(** [reached a] lists analyzed method instances. *)
+val reached : t -> (Program.meth * Context.t) list
+
+(** [is_reached a m] is true iff [m] is analyzed under some context. *)
+val is_reached : t -> Program.meth -> bool
+
+(** [n_origins a] is the paper's #O: origins excluding main (origin policy),
+    or the number of non-main spawns otherwise. *)
+val n_origins : t -> int
+
+val stats : t -> O2_util.Stats.t

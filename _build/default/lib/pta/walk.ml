@@ -1,0 +1,27 @@
+open O2_ir
+
+let iter_origin a (sp : Solver.spawn) f =
+  let visited = Hashtbl.create 64 in
+  let rec visit (m : Program.meth) ctx =
+    let key = (m.Program.m_class, m.Program.m_name, ctx) in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      body m ctx m.Program.m_body
+    end
+  and body m ctx stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        f m ctx s;
+        match s.Ast.sk with
+        | Ast.Call _ | Ast.StaticCall _ | Ast.New _ ->
+            List.iter
+              (fun (callee, cctx) -> visit callee cctx)
+              (Solver.callees a ~site:s.Ast.sid ~ctx)
+        | Ast.Sync (_, b) | Ast.While b -> body m ctx b
+        | Ast.If (b1, b2) ->
+            body m ctx b1;
+            body m ctx b2
+        | _ -> ())
+      stmts
+  in
+  visit sp.Solver.sp_entry sp.Solver.sp_ectx

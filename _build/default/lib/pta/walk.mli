@@ -1,0 +1,20 @@
+(** Origin-scoped traversal of the context-sensitive call graph.
+
+    Walks the statements executed by one origin (a {!Solver.spawn}): starts
+    at the entry method instance and follows resolved call edges — including
+    [init] calls, whose body {e executes} in the calling origin even though
+    OPA {e analyzes} it in the new origin (§3.2) — but stops at
+    [start]/[post] boundaries, which begin other origins. Each method
+    instance is visited at most once per origin, making the scan linear
+    (the property §3.3 claims for OSA). *)
+
+open O2_ir
+
+(** [iter_origin a sp f] calls [f m ctx s] for every statement [s] of every
+    method instance ⟨m, ctx⟩ reachable within origin [sp], in program
+    order. *)
+val iter_origin :
+  Solver.t ->
+  Solver.spawn ->
+  (Program.meth -> Context.t -> Ast.stmt -> unit) ->
+  unit

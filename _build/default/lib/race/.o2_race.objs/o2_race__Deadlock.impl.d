@@ -1,0 +1,1 @@
+lib/race/deadlock.ml: Array Format Graph Hashtbl List O2_pta O2_shb String

@@ -1,0 +1,1 @@
+lib/race/deadlock.mli: Format Graph O2_ir O2_pta O2_shb

@@ -1,0 +1,1 @@
+lib/race/detect.ml: Access Array Context Graph Hashtbl List Lockset O2_pta O2_shb Solver

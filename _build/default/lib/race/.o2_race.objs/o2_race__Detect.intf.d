@@ -1,0 +1,1 @@
+lib/race/detect.mli: Access Context Graph O2_ir O2_pta O2_shb Solver

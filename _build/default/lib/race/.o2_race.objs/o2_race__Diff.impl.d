@@ -1,0 +1,1 @@
+lib/race/diff.ml: Access Detect Format Graph List O2_ir O2_pta O2_shb Pag Solver

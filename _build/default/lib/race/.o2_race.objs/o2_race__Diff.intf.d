@@ -1,0 +1,1 @@
+lib/race/diff.mli: Detect Format O2_ir O2_pta

@@ -1,0 +1,1 @@
+lib/race/naive.ml: Access Array Context Detect Graph Hashtbl List Lockset O2_pta O2_shb Solver

@@ -1,0 +1,1 @@
+lib/race/naive.mli: Detect Graph O2_ir O2_pta O2_shb

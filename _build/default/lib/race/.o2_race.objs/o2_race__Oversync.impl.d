@@ -1,0 +1,1 @@
+lib/race/oversync.ml: Access Array Ast Context Format Hashtbl List O2_ir O2_osa O2_pta Program Solver Types

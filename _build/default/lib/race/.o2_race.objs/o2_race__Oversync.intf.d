@@ -1,0 +1,1 @@
+lib/race/oversync.mli: Format O2_ir O2_osa O2_pta

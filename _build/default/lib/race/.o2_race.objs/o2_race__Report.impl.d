@@ -1,0 +1,1 @@
+lib/race/report.ml: Access Array Ast Buffer Char Detect Format Graph List Lockset O2_ir O2_pta O2_shb Printf Program Solver String Types

@@ -1,0 +1,1 @@
+lib/race/report.mli: Detect Format Graph O2_pta O2_shb Solver

@@ -1,0 +1,146 @@
+open O2_pta
+open O2_shb
+
+type race = {
+  r_target : Access.target;
+  r_a : Graph.node;
+  r_b : Graph.node;
+}
+
+type report = {
+  races : race list;
+  n_pairs_checked : int;
+  n_hb_pruned : int;
+  n_lock_pruned : int;
+}
+
+let field_of_target = function
+  | Access.Tfield (_, f) -> f
+  | Access.Tstatic (c, f) -> c ^ "::" ^ f
+
+let dedup_key r =
+  let a = r.r_a.Graph.n_sid and b = r.r_b.Graph.n_sid in
+  ((min a b, max a b), field_of_target r.r_target)
+
+let n_races report =
+  List.map dedup_key report.races |> List.sort_uniq compare |> List.length
+
+let run g =
+  let locks = Graph.locks g in
+  (* group access nodes by target *)
+  let groups : (Access.target, Graph.node list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  Array.iter
+    (fun (n : Graph.node) ->
+      let target =
+        match n.Graph.n_kind with
+        | Graph.Read t | Graph.Write t -> Some t
+        | _ -> None
+      in
+      match target with
+      | None -> ()
+      | Some t -> (
+          match Hashtbl.find_opt groups t with
+          | Some l -> l := n :: !l
+          | None -> Hashtbl.add groups t (ref [ n ])))
+    (Graph.accesses g);
+  let n_pairs = ref 0 and n_hb = ref 0 and n_lock = ref 0 in
+  let races = ref [] in
+  let is_write (n : Graph.node) =
+    match n.Graph.n_kind with Graph.Write _ -> true | _ -> false
+  in
+  Hashtbl.iter
+    (fun target group ->
+      let ns = Array.of_list !group in
+      let len = Array.length ns in
+      (* quick origin-sharing filter: skip single-origin or read-only groups *)
+      let origins =
+        Array.fold_left
+          (fun acc n -> if List.mem n.Graph.n_origin acc then acc else n.Graph.n_origin :: acc)
+          [] ns
+      in
+      let has_write = Array.exists is_write ns in
+      let single_origin_ok =
+        match origins with
+        | [ o ] -> not (Graph.self_parallel g o)
+        | _ -> false
+      in
+      if has_write && not single_origin_ok then
+        for i = 0 to len - 1 do
+          (* a write by a self-parallel origin races with the same access in
+             another run-time instance of that origin — unless the access
+             holds a lock, which the other instance would hold too *)
+          let a = ns.(i) in
+          if
+            is_write a
+            && Graph.self_parallel g a.Graph.n_origin
+            && Lockset.elements locks a.Graph.n_lockset = []
+          then begin
+            incr n_pairs;
+            races := { r_target = target; r_a = a; r_b = a } :: !races
+          end;
+          for j = i + 1 to len - 1 do
+            let a = ns.(i) and b = ns.(j) in
+            if is_write a || is_write b then begin
+              let same_origin = a.Graph.n_origin = b.Graph.n_origin in
+              let candidate =
+                if same_origin then Graph.self_parallel g a.Graph.n_origin
+                else true
+              in
+              if candidate then begin
+                incr n_pairs;
+                (* HB edges in/out of a self-parallel origin order each
+                   run-time instance only with its own children — the static
+                   graph cannot tell instances apart, so HB pruning is
+                   unsound there and only locksets apply *)
+                let hb_usable =
+                  (not (Graph.self_parallel g a.Graph.n_origin))
+                  && not (Graph.self_parallel g b.Graph.n_origin)
+                in
+                if not (Lockset.disjoint locks a.Graph.n_lockset b.Graph.n_lockset)
+                then incr n_lock
+                else if
+                  (not same_origin)
+                  && hb_usable
+                  && (Graph.hb g a b || Graph.hb g b a)
+                then incr n_hb
+                else
+                  let a, b =
+                    if a.Graph.n_id <= b.Graph.n_id then (a, b) else (b, a)
+                  in
+                  races := { r_target = target; r_a = a; r_b = b } :: !races
+              end
+            end
+          done
+        done)
+    groups;
+  let races =
+    List.sort
+      (fun r1 r2 ->
+        compare
+          (r1.r_a.Graph.n_id, r1.r_b.Graph.n_id)
+          (r2.r_a.Graph.n_id, r2.r_b.Graph.n_id))
+      !races
+  in
+  (* deduplicate identical source-site pairs, keeping the first witness *)
+  let seen = Hashtbl.create 64 in
+  let races =
+    List.filter
+      (fun r ->
+        let k = dedup_key r in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      races
+  in
+  { races; n_pairs_checked = !n_pairs; n_hb_pruned = !n_hb; n_lock_pruned = !n_lock }
+
+let analyze ?(policy = Context.Korigin 1) ?(serial_events = true)
+    ?(lock_region = true) p =
+  let a = Solver.analyze ~policy p in
+  let g = Graph.build ~serial_events ~lock_region a in
+  let report = run g in
+  (a, g, report)

@@ -1,0 +1,44 @@
+(** O2's race-detection engine (§4, §4.1).
+
+    Candidate generation follows the hybrid lockset + happens-before scheme:
+    two accesses to the same abstract location race iff they come from
+    different origins (or one self-parallel origin), at least one is a
+    write, their locksets are disjoint, and neither happens-before the
+    other. The three §4.1 optimizations are all in play: intra-origin HB is
+    an integer comparison and inter-origin HB a memoized reachability query
+    ({!O2_shb.Graph.hb}); locksets are canonical ids with a cached
+    disjointness check ({!O2_shb.Lockset}); and lock-region merging happens
+    at SHB construction. *)
+
+open O2_pta
+open O2_shb
+
+type race = {
+  r_target : Access.target;
+  r_a : Graph.node;
+  r_b : Graph.node;  (** [r_a.n_id <= r_b.n_id] *)
+}
+
+type report = {
+  races : race list;  (** deduplicated, deterministic order *)
+  n_pairs_checked : int;  (** candidate pairs examined *)
+  n_hb_pruned : int;  (** pairs pruned by happens-before *)
+  n_lock_pruned : int;  (** pairs pruned by common locks *)
+}
+
+(** [n_races r] counts distinct races after source-site deduplication: one
+    race per unordered pair of statement sites per field — the unit the
+    paper's Tables 8–10 report. *)
+val n_races : report -> int
+
+(** [run g] detects races on a built SHB graph. *)
+val run : Graph.t -> report
+
+(** [analyze ?policy ?serial_events p] is the full O2 pipeline:
+    pointer analysis → SHB → detection. *)
+val analyze :
+  ?policy:Context.policy ->
+  ?serial_events:bool ->
+  ?lock_region:bool ->
+  O2_ir.Program.t ->
+  Solver.t * Graph.t * report

@@ -1,0 +1,24 @@
+(** The straw-man race detector of §4 ("existing static race detection …
+    run a depth-first search starting from one access … and compute the
+    locksets for both accesses").
+
+    This is the D4-style baseline O2 is measured against in the ablation
+    benchmarks: it stores explicit intra-origin HB edges and answers every
+    happens-before query with an uncached DFS over the full node-level
+    graph, recomputes lockset intersections as list operations with no
+    canonical ids, and performs no lock-region merging (the SHB is built
+    with [~lock_region:false]). Its reports agree with {!Detect} — the
+    optimizations are sound — which the test suite asserts. *)
+
+open O2_shb
+
+(** [run g] detects races by pairwise DFS. [g] should be built with
+    [~lock_region:false] for a faithful baseline; {!analyze} does so. *)
+val run : Graph.t -> Detect.report
+
+(** Full pipeline with the naive engine. *)
+val analyze :
+  ?policy:O2_pta.Context.policy ->
+  ?serial_events:bool ->
+  O2_ir.Program.t ->
+  O2_pta.Solver.t * Graph.t * Detect.report

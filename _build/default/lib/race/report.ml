@@ -1,0 +1,116 @@
+open O2_ir
+open O2_pta
+open O2_shb
+
+let origin_name a id =
+  let sps = Solver.spawns a in
+  if id < 0 || id >= Array.length sps then Printf.sprintf "origin %d" id
+  else
+    let sp = sps.(id) in
+    match sp.Solver.sp_kind with
+    | `Main -> "main thread"
+    | `Thread ->
+        let st, _ = Program.stmt (Solver.program a) sp.Solver.sp_site in
+        Format.asprintf "thread %s.%s() started at %a"
+          sp.Solver.sp_entry.Program.m_class sp.Solver.sp_entry.Program.m_name
+          Types.pp_pos st.Ast.pos
+    | `Event ->
+        let st, _ = Program.stmt (Solver.program a) sp.Solver.sp_site in
+        Format.asprintf "event %s.%s() posted at %a"
+          sp.Solver.sp_entry.Program.m_class sp.Solver.sp_entry.Program.m_name
+          Types.pp_pos st.Ast.pos
+
+let pp_access a g ppf (n : Graph.node) =
+  let rw =
+    match n.Graph.n_kind with
+    | Graph.Write _ -> "write"
+    | Graph.Read _ -> "read"
+    | _ -> "?"
+  in
+  let ls = Lockset.elements (Graph.locks g) n.Graph.n_lockset in
+  Format.fprintf ppf "%s at %a by %s%s" rw Types.pp_pos n.Graph.n_pos
+    (origin_name a n.Graph.n_origin)
+    (if ls = [] then " [no lock]"
+     else
+       Printf.sprintf " [locks: %s]"
+         (String.concat ","
+            (List.map
+               (fun l ->
+                 if l = Lockset.dispatcher_lock then "<dispatcher>"
+                 else "o" ^ string_of_int l)
+               ls)))
+
+let pp_race a g ppf (r : Detect.race) =
+  Format.fprintf ppf "@[<v 2>RACE on %a:@,%a@,%a@]"
+    (Access.pp_target a) r.Detect.r_target (pp_access a g) r.Detect.r_a
+    (pp_access a g) r.Detect.r_b
+
+let summary _a (report : Detect.report) =
+  Printf.sprintf "%d race(s) (%d pairs checked, %d HB-pruned, %d lock-pruned)"
+    (Detect.n_races report) report.Detect.n_pairs_checked
+    report.Detect.n_hb_pruned report.Detect.n_lock_pruned
+
+let pp a g ppf (report : Detect.report) =
+  Format.fprintf ppf "@[<v>%s@," (summary a report);
+  List.iter
+    (fun r -> Format.fprintf ppf "%a@," (pp_race a g) r)
+    report.Detect.races;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization, dependency-free *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let access_json a g (n : Graph.node) =
+  let kind =
+    match n.Graph.n_kind with
+    | Graph.Write _ -> "write"
+    | Graph.Read _ -> "read"
+    | _ -> "other"
+  in
+  let locks =
+    Lockset.elements (Graph.locks g) n.Graph.n_lockset
+    |> List.map (fun l ->
+           if l = Lockset.dispatcher_lock then "\"<dispatcher>\""
+           else Printf.sprintf "\"o%d\"" l)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    {|{"kind":"%s","file":"%s","line":%d,"origin":"%s","locks":[%s]}|}
+    kind
+    (json_escape n.Graph.n_pos.Types.file)
+    n.Graph.n_pos.Types.line
+    (json_escape (origin_name a n.Graph.n_origin))
+    locks
+
+let to_json a g (report : Detect.report) =
+  let races =
+    List.map
+      (fun (r : Detect.race) ->
+        Printf.sprintf {|{"target":"%s","a":%s,"b":%s}|}
+          (json_escape
+             (Format.asprintf "%a" (Access.pp_target a) r.Detect.r_target))
+          (access_json a g r.Detect.r_a)
+          (access_json a g r.Detect.r_b))
+      report.Detect.races
+  in
+  Printf.sprintf
+    {|{"races":[%s],"summary":{"n_races":%d,"pairs_checked":%d,"hb_pruned":%d,"lock_pruned":%d}}|}
+    (String.concat "," races)
+    (Detect.n_races report)
+    report.Detect.n_pairs_checked report.Detect.n_hb_pruned
+    report.Detect.n_lock_pruned

@@ -1,0 +1,1 @@
+lib/racerd/racerd.ml: Array Ast Format Hashtbl List O2_ir Program Types

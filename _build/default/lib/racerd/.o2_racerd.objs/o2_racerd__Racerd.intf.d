@@ -1,0 +1,1 @@
+lib/racerd/racerd.mli: Format O2_ir Program Types

@@ -1,0 +1,195 @@
+open O2_ir
+
+type warning = {
+  w_field : Types.fname;
+  w_kind : [ `Race | `Unprotected_write ];
+  w_site_a : Types.pos;
+  w_site_b : Types.pos;
+}
+
+type report = { warnings : warning list }
+
+let n_warnings r = List.length r.warnings
+
+let pp_warning ppf w =
+  Format.fprintf ppf "%s on field %s: %a vs %a"
+    (match w.w_kind with
+    | `Race -> "read/write race"
+    | `Unprotected_write -> "unprotected write")
+    w.w_field Types.pp_pos w.w_site_a Types.pp_pos w.w_site_b
+
+(* One recorded access. [root] identifies which entry point's syntactic
+   exploration found it; RacerD's "threads" dimension. *)
+type acc = {
+  a_field : Types.fname;
+  a_write : bool;
+  a_locked : bool;
+  a_pos : Types.pos;
+  a_sid : int;
+  a_root : int;
+}
+
+(* methods owning vars: vars assigned from a New in this method *)
+let owned_vars (m : Program.meth) =
+  let owned = Hashtbl.create 8 in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.sk with
+      | Ast.New (x, _, _) -> Hashtbl.replace owned x ()
+      | Ast.Assign (x, _)
+      | Ast.Null x
+      | Ast.FieldRead (x, _, _)
+      | Ast.ArrayRead (x, _)
+      | Ast.StaticRead (x, _, _) ->
+          (* reassignment from elsewhere loses syntactic ownership *)
+          if Hashtbl.mem owned x then Hashtbl.remove owned x
+      | _ -> ())
+    m.Program.m_body;
+  owned
+
+(* class-hierarchy-free syntactic call resolution: every method with that
+   name anywhere in the program *)
+let methods_by_name p =
+  let tbl = Hashtbl.create 64 in
+  Program.iter_methods
+    (fun m ->
+      let l =
+        match Hashtbl.find_opt tbl m.Program.m_name with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace tbl m.Program.m_name (m :: l))
+    p;
+  tbl
+
+let analyze p =
+  let by_name = methods_by_name p in
+  let accs : acc list ref = ref [] in
+  let visit_root root_id (entry : Program.meth) =
+    let visited = Hashtbl.create 32 in
+    let rec visit (m : Program.meth) =
+      let key = (m.Program.m_class, m.Program.m_name) in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        let owned = owned_vars m in
+        (* constructor self-initialization: [this.f = …] inside init writes
+           the object the caller just allocated and still owns — RacerD's
+           interprocedural ownership; never reported *)
+        let ctor_this = m.Program.m_name = "init" in
+        let record ~base ~field ~write ~locked (s : Ast.stmt) =
+          let is_owned =
+            match base with
+            | Some v -> Hashtbl.mem owned v || (ctor_this && v = "this")
+            | None -> false
+          in
+          if not is_owned then
+            accs :=
+              {
+                a_field = field;
+                a_write = write;
+                a_locked = locked;
+                a_pos = s.Ast.pos;
+                a_sid = s.Ast.sid;
+                a_root = root_id;
+              }
+              :: !accs
+        in
+        let call name =
+          match Hashtbl.find_opt by_name name with
+          | Some ms -> List.iter visit ms
+          | None -> ()
+        in
+        let rec body ~locked stmts =
+          List.iter
+            (fun (s : Ast.stmt) ->
+              match s.Ast.sk with
+              | Ast.FieldWrite (x, f, _) ->
+                  record ~base:(Some x) ~field:f ~write:true ~locked s
+              | Ast.FieldRead (_, y, f) ->
+                  record ~base:(Some y) ~field:f ~write:false ~locked s
+              | Ast.ArrayWrite (x, _) ->
+                  record ~base:(Some x) ~field:"*" ~write:true ~locked s
+              | Ast.ArrayRead (_, y) ->
+                  record ~base:(Some y) ~field:"*" ~write:false ~locked s
+              | Ast.StaticWrite (c, f, _) ->
+                  record ~base:None ~field:(c ^ "::" ^ f) ~write:true ~locked s
+              | Ast.StaticRead (_, c, f) ->
+                  record ~base:None ~field:(c ^ "::" ^ f) ~write:false ~locked
+                    s
+              | Ast.Call (_, _, name, _) -> call name
+              | Ast.StaticCall (_, _, name, _) -> call name
+              | Ast.New (_, c, _) -> (
+                  match Program.dispatch p c "init" with
+                  | Some init -> visit init
+                  | None -> ())
+              | Ast.Sync (_, b) -> body ~locked:true b
+              | Ast.If (b1, b2) ->
+                  body ~locked b1;
+                  body ~locked b2
+              | Ast.While b -> body ~locked b
+              | Ast.Start _ | Ast.Post _ | Ast.Join _ | Ast.Signal _
+              | Ast.Wait _ | Ast.Assign _ | Ast.Null _ | Ast.Return _ ->
+                  ())
+            stmts
+        in
+        body ~locked:false m.Program.m_body
+      end
+    in
+    visit entry
+  in
+  (* roots: main + every entry method of every thread/handler class *)
+  let roots = ref [ Program.main p ] in
+  List.iter
+    (fun (cls : Program.cls) ->
+      match Program.kind_of p cls.Program.c_name with
+      | Program.Kthread _ | Program.Khandler _ -> (
+          match Program.entry_method p cls.Program.c_name with
+          | Some m -> if not (List.memq m !roots) then roots := m :: !roots
+          | None -> ())
+      | Program.Kplain -> ())
+    (Program.classes p);
+  List.iteri (fun i r -> visit_root i r) (List.rev !roots);
+  (* warnings *)
+  let by_field = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      let l =
+        match Hashtbl.find_opt by_field a.a_field with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_field a.a_field (a :: l))
+    !accs;
+  let warnings = ref [] in
+  let seen = Hashtbl.create 64 in
+  let emit kind f a b =
+    let k = (f, min a.a_sid b.a_sid, max a.a_sid b.a_sid) in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      warnings :=
+        { w_field = f; w_kind = kind; w_site_a = a.a_pos; w_site_b = b.a_pos }
+        :: !warnings
+    end
+  in
+  Hashtbl.iter
+    (fun f l ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = arr.(i) and b = arr.(j) in
+          if (a.a_write || b.a_write) && a.a_sid <> b.a_sid then begin
+            (* read/write race: two roots, not both locked *)
+            if a.a_root <> b.a_root && not (a.a_locked && b.a_locked) then
+              emit `Race f a b
+            else if
+              (* unprotected write: a write outside sync conflicting with a
+                 locked access elsewhere *)
+              (a.a_write && (not a.a_locked) && b.a_locked)
+              || (b.a_write && (not b.a_locked) && a.a_locked)
+            then emit `Unprotected_write f a b
+          end
+        done
+      done)
+    by_field;
+  { warnings = List.rev !warnings }

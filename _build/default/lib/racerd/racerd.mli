@@ -1,0 +1,43 @@
+(** A RacerD-style syntactic race detector — the comparator of §5.1.3/§5.2.
+
+    Implements the published RacerD design points without any pointer
+    analysis (the contrast the paper draws):
+
+    - accesses are keyed {e syntactically} by field name — no aliasing, so
+      distinct objects with the same field conflate (false positives) and
+      aliased locations reached through different access paths are missed
+      (false negatives, "it does not reason about pointers and thus can
+      miss races due to pointer aliases");
+    - calls resolve by method name to every class declaring it (class
+      hierarchy analysis without points-to);
+    - {e ownership}: accesses through a variable the current method
+      allocated itself ([x = new C(…)]) are owned and never reported —
+      RacerD's main false-positive killer;
+    - lock state is syntactic: inside any [sync] block or not;
+    - two warning categories, as in RacerD's reports: read/write races
+      between distinct roots, and unprotected writes conflicting with
+      locked accesses. Both are counted as conflicting-site pairs, matching
+      the paper's translation of RacerD output ("we add up the numbers of
+      read/write races and of the pairs of conflict field accesses shown in
+      unprotected writes"). *)
+
+open O2_ir
+
+type warning = {
+  w_field : Types.fname;
+  w_kind : [ `Race | `Unprotected_write ];
+  w_site_a : Types.pos;
+  w_site_b : Types.pos;
+}
+
+type report = { warnings : warning list }
+
+(** [n_warnings r] is the deduplicated warning count (the paper's RacerD
+    columns in Tables 5/8/9). *)
+val n_warnings : report -> int
+
+(** [analyze p] runs the syntactic analysis from [main] and every
+    thread/handler entry point. *)
+val analyze : Program.t -> report
+
+val pp_warning : Format.formatter -> warning -> unit

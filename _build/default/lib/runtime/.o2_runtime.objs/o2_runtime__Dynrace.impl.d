@@ -1,0 +1,1 @@
+lib/runtime/dynrace.ml: Hashtbl Interp List Printf Vclock

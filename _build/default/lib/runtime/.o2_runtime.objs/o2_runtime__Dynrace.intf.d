@@ -1,0 +1,1 @@
+lib/runtime/dynrace.mli: Interp O2_ir

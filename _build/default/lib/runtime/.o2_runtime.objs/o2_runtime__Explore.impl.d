@@ -1,0 +1,1 @@
+lib/runtime/explore.ml: Array Dynrace Hashtbl Interp List

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Ast Hashtbl List O2_ir Option Printf Program Queue Random

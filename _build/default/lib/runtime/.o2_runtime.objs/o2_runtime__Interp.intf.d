@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: O2_ir Program

@@ -1,0 +1,1 @@
+lib/runtime/vclock.ml: Format Int List Map Printf String

@@ -1,0 +1,143 @@
+type race = {
+  d_sid_a : int;
+  d_sid_b : int;
+  d_field : string;
+  d_location : string;
+}
+
+(* last accesses to one location: per task, the clock and sid at access *)
+type loc_state = {
+  mutable writes : (int * int * int) list;  (* task, clock, sid *)
+  mutable reads : (int * int * int) list;
+}
+
+type t = {
+  mutable task_vc : (int * Vclock.t) list;
+  mutable lock_vc : (int * Vclock.t) list;
+  mutable sem_vc : (int * Vclock.t) list;
+  locs : (string, loc_state) Hashtbl.t;
+  mutable found : race list;
+  seen : (int * int * string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    task_vc = [];
+    lock_vc = [];
+    sem_vc = [];
+    locs = Hashtbl.create 64;
+    found = [];
+    seen = Hashtbl.create 16;
+  }
+
+let vc_of t tid =
+  match List.assoc_opt tid t.task_vc with
+  | Some vc -> vc
+  | None -> Vclock.tick Vclock.empty tid
+
+let set_vc t tid vc = t.task_vc <- (tid, vc) :: List.remove_assoc tid t.task_vc
+
+let lock_vc_of t l =
+  match List.assoc_opt l t.lock_vc with Some vc -> vc | None -> Vclock.empty
+
+let set_lock_vc t l vc = t.lock_vc <- (l, vc) :: List.remove_assoc l t.lock_vc
+
+let loc t key =
+  match Hashtbl.find_opt t.locs key with
+  | Some ls -> ls
+  | None ->
+      let ls = { writes = []; reads = [] } in
+      Hashtbl.add t.locs key ls;
+      ls
+
+let report t ~sid_a ~sid_b ~field ~location =
+  let a = min sid_a sid_b and b = max sid_a sid_b in
+  if not (Hashtbl.mem t.seen (a, b, field)) then begin
+    Hashtbl.add t.seen (a, b, field) ();
+    t.found <-
+      { d_sid_a = a; d_sid_b = b; d_field = field; d_location = location }
+      :: t.found
+  end
+
+(* prior access (task u at clock c) is ordered before the current one iff
+   c ≤ VC_current[u] *)
+let ordered vc (u, c, _) = c <= Vclock.get vc u
+
+let on_access t ~task ~key ~field ~sid ~is_write =
+  let vc = vc_of t task in
+  let ls = loc t key in
+  let conflicts = if is_write then ls.reads @ ls.writes else ls.writes in
+  List.iter
+    (fun ((u, _, prev_sid) as prior) ->
+      if u <> task && not (ordered vc prior) then
+        report t ~sid_a:prev_sid ~sid_b:sid ~field ~location:key)
+    conflicts;
+  let entry = (task, Vclock.get vc task, sid) in
+  if is_write then
+    ls.writes <- entry :: List.filter (fun (u, _, _) -> u <> task) ls.writes
+  else ls.reads <- entry :: List.filter (fun (u, _, _) -> u <> task) ls.reads
+
+let handler t (e : Interp.event) =
+  match e with
+  | Interp.Eread { task; addr; field; sid } ->
+      on_access t ~task
+        ~key:(Printf.sprintf "#%d.%s" addr field)
+        ~field ~sid ~is_write:false
+  | Interp.Ewrite { task; addr; field; sid } ->
+      on_access t ~task
+        ~key:(Printf.sprintf "#%d.%s" addr field)
+        ~field ~sid ~is_write:true
+  | Interp.Esread { task; cls; field; sid } ->
+      on_access t ~task
+        ~key:(Printf.sprintf "%s::%s" cls field)
+        ~field:(cls ^ "::" ^ field) ~sid ~is_write:false
+  | Interp.Eswrite { task; cls; field; sid } ->
+      on_access t ~task
+        ~key:(Printf.sprintf "%s::%s" cls field)
+        ~field:(cls ^ "::" ^ field) ~sid ~is_write:true
+  | Interp.Eacquire { task; lock } ->
+      set_vc t task (Vclock.join (vc_of t task) (lock_vc_of t lock))
+  | Interp.Erelease { task; lock } ->
+      let vc = vc_of t task in
+      set_lock_vc t lock vc;
+      set_vc t task (Vclock.tick vc task)
+  | Interp.Espawn { parent; child } ->
+      let pvc = vc_of t parent in
+      set_vc t child (Vclock.tick (Vclock.join (vc_of t child) pvc) child);
+      set_vc t parent (Vclock.tick pvc parent)
+  | Interp.Ejoin { parent; child } ->
+      set_vc t parent (Vclock.join (vc_of t parent) (vc_of t child))
+  | Interp.Esignal { task; sem } ->
+      let cur =
+        match List.assoc_opt sem t.sem_vc with
+        | Some vc -> vc
+        | None -> Vclock.empty
+      in
+      let vc = vc_of t task in
+      t.sem_vc <- (sem, Vclock.join cur vc) :: List.remove_assoc sem t.sem_vc;
+      set_vc t task (Vclock.tick vc task)
+  | Interp.Ewait { task; sem } -> (
+      match List.assoc_opt sem t.sem_vc with
+      | Some vc -> set_vc t task (Vclock.join (vc_of t task) vc)
+      | None -> ())
+
+let races t = List.rev t.found
+
+let check ?(seeds = [ 0; 1; 2; 3; 4; 5; 6; 7 ]) ?(max_steps = 100_000) p =
+  (* a fresh detector per run: addresses and clocks are per-execution *)
+  let union = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun seed ->
+      let t = create () in
+      ignore (Interp.run ~seed ~max_steps ~on_event:(handler t) p);
+      List.iter
+        (fun r ->
+          let k = (r.d_sid_a, r.d_sid_b, r.d_field) in
+          if not (Hashtbl.mem union k) then begin
+            Hashtbl.add union k ();
+            out := r :: !out
+          end)
+        (races t))
+    seeds;
+  List.rev !out

@@ -1,0 +1,29 @@
+(** A vector-clock dynamic race detector over {!Interp} event traces, in the
+    style of the happens-before detectors the paper cites (FastTrack et
+    al.).
+
+    Used as executable ground truth: a race this detector observes in {e
+    some} interleaving of a program is certainly real, so the test suite
+    asserts that every dynamically-observed race is also in O2's static
+    report (static soundness on the explored schedules). *)
+
+type race = {
+  d_sid_a : int;  (** statement id of the earlier access *)
+  d_sid_b : int;  (** statement id of the racing access *)
+  d_field : string;
+  d_location : string;  (** rendered location, for messages *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [handler t] is the event callback to pass to {!Interp.run}. *)
+val handler : t -> Interp.event -> unit
+
+(** [races t] lists distinct races seen so far (by sid pair + field). *)
+val races : t -> race list
+
+(** [check ?seeds ?max_steps p] runs the program once per seed and collects
+    the union of observed races. *)
+val check : ?seeds:int list -> ?max_steps:int -> O2_ir.Program.t -> race list

@@ -1,0 +1,71 @@
+type report = {
+  runs : int;
+  exhaustive : bool;
+  races : Dynrace.race list;
+  deadlocks : int;
+}
+
+(* One execution is identified by the sequence of alternatives taken at
+   each choice point. DFS: replay a prefix, extend with first alternatives,
+   record the branching factor met at each depth, then backtrack to the
+   deepest choice with an untried alternative. *)
+let explore ?(max_runs = 2000) ?(max_steps = 20_000) p =
+  let seen_races = Hashtbl.create 16 in
+  let races = ref [] in
+  let deadlocks = ref 0 in
+  let runs = ref 0 in
+  let exhausted = ref false in
+  (* the current path: (choice taken, #alternatives) from root to leaf *)
+  let path : (int * int) array ref = ref [||] in
+  let continue_ = ref true in
+  while !continue_ && !runs < max_runs do
+    incr runs;
+    (* replay the prefix in [path], then take 0 for new choice points *)
+    let depth = ref 0 in
+    let trace = ref [] in
+    let chooser n =
+      let d = !depth in
+      incr depth;
+      let taken = if d < Array.length !path then fst (Array.get !path d) else 0 in
+      let taken = if taken >= n then 0 else taken in
+      trace := (taken, n) :: !trace;
+      taken
+    in
+    let detector = Dynrace.create () in
+    let outcome =
+      Interp.run ~chooser ~visible_only:true ~max_steps
+        ~on_event:(Dynrace.handler detector) p
+    in
+    if outcome.Interp.deadlocked then incr deadlocks;
+    List.iter
+      (fun (r : Dynrace.race) ->
+        let k = (r.Dynrace.d_sid_a, r.Dynrace.d_sid_b, r.Dynrace.d_field) in
+        if not (Hashtbl.mem seen_races k) then begin
+          Hashtbl.add seen_races k ();
+          races := r :: !races
+        end)
+      (Dynrace.races detector);
+    (* backtrack: drop trailing choices with no untried alternative, then
+       advance the deepest one that has *)
+    let arr = Array.of_list (List.rev !trace) in
+    let i = ref (Array.length arr - 1) in
+    while !i >= 0 && fst arr.(!i) + 1 >= snd arr.(!i) do
+      decr i
+    done;
+    if !i < 0 then begin
+      continue_ := false;
+      exhausted := true
+    end
+    else begin
+      let prefix = Array.sub arr 0 (!i + 1) in
+      let taken, n = prefix.(!i) in
+      prefix.(!i) <- (taken + 1, n);
+      path := prefix
+    end
+  done;
+  {
+    runs = !runs;
+    exhaustive = !exhausted;
+    races = List.rev !races;
+    deadlocks = !deadlocks;
+  }

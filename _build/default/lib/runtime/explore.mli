@@ -1,0 +1,26 @@
+(** Bounded systematic schedule exploration — stateless-model-checking in
+    the CHESS style (Musuvathi et al., cited as [42] in the paper).
+
+    Enumerates executions by depth-first search over the interpreter's
+    choice points (task selection, [if] arms, [while] continuations),
+    running the vector-clock detector on each. Within the run budget this
+    gives the strongest dynamic ground truth available: a race it finds is
+    real in a concrete schedule; a deadlock it finds is a real schedule
+    that hangs.
+
+    Exploration is exhaustive when the program's choice tree fits in
+    [max_runs] executions (the report says so); otherwise it is a
+    depth-first prefix of the tree. *)
+
+type report = {
+  runs : int;  (** executions explored *)
+  exhaustive : bool;  (** the whole choice tree was covered *)
+  races : Dynrace.race list;  (** union over all executions *)
+  deadlocks : int;  (** executions that deadlocked *)
+}
+
+(** [explore ?max_runs ?max_steps p] enumerates schedules of [p].
+
+    @param max_runs execution budget (default 2000)
+    @param max_steps per-execution step budget (default 20_000) *)
+val explore : ?max_runs:int -> ?max_steps:int -> O2_ir.Program.t -> report

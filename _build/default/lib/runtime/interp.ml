@@ -1,0 +1,448 @@
+open O2_ir
+
+type event =
+  | Eread of { task : int; addr : int; field : string; sid : int }
+  | Ewrite of { task : int; addr : int; field : string; sid : int }
+  | Esread of { task : int; cls : string; field : string; sid : int }
+  | Eswrite of { task : int; cls : string; field : string; sid : int }
+  | Eacquire of { task : int; lock : int }
+  | Erelease of { task : int; lock : int }
+  | Espawn of { parent : int; child : int }
+  | Ejoin of { parent : int; child : int }
+  | Esignal of { task : int; sem : int }
+  | Ewait of { task : int; sem : int }
+
+type outcome = {
+  steps : int;
+  completed : bool;
+  deadlocked : bool;
+  events : event list;
+}
+
+exception Runtime_error of string
+
+type value = VNull | VRef of int
+
+type obj = {
+  o_class : string;
+  o_fields : (string, value) Hashtbl.t;
+  mutable o_cell : value;  (* the single abstract array cell *)
+}
+
+(* a work item on a frame's agenda *)
+type work =
+  | WStmt of Ast.stmt
+  | WRelease of int  (* release monitor of this object on exit of sync *)
+
+type frame = {
+  meth : Program.meth;
+  env : (string, value) Hashtbl.t;
+  mutable agenda : work list;
+  ret_to : (frame * string) option;  (* caller frame + var to set on return *)
+}
+
+type status =
+  | Runnable
+  | Blocked_lock of int
+  | Blocked_join of int  (* tid *)
+  | Blocked_sem of int  (* semaphore addr *)
+  | Finished
+
+type task = {
+  tid : int;
+  mutable frames : frame list;
+  mutable status : status;
+  is_dispatcher : bool;
+}
+
+type monitor = { mutable owner : int option; mutable count : int }
+
+type state = {
+  program : Program.t;
+  choose : int -> int;  (* pick an alternative in [0, n-1] *)
+  heap : (int, obj) Hashtbl.t;
+  mutable next_addr : int;
+  monitors : (int, monitor) Hashtbl.t;
+  sems : (int, int ref) Hashtbl.t;  (* semaphore counters per object *)
+  mutable tasks : task list;
+  mutable next_tid : int;
+  mutable events : event list;
+  on_event : event -> unit;
+  (* FIFO of posted events: handler object addr, args, posting tid *)
+  event_queue : (int * value list * int) Queue.t;
+  (* threads by the addr of their thread object, for join *)
+  mutable thread_of_obj : (int * int) list;  (* addr, tid *)
+}
+
+let emit st e =
+  st.events <- e :: st.events;
+  st.on_event e
+
+let alloc st cls =
+  let addr = st.next_addr in
+  st.next_addr <- addr + 1;
+  Hashtbl.add st.heap addr
+    { o_class = cls; o_fields = Hashtbl.create 8; o_cell = VNull };
+  addr
+
+let lookup env v =
+  match Hashtbl.find_opt env v with Some value -> value | None -> VNull
+
+let deref st env v =
+  match lookup env v with
+  | VRef addr -> (addr, Hashtbl.find st.heap addr)
+  | VNull -> raise (Runtime_error (Printf.sprintf "null dereference of %s" v))
+
+let new_frame meth ~this ~args ~ret_to =
+  let env = Hashtbl.create 16 in
+  (match this with Some v -> Hashtbl.replace env "this" v | None -> ());
+  List.iteri
+    (fun i p ->
+      Hashtbl.replace env p
+        (match List.nth_opt args i with Some v -> v | None -> VNull))
+    meth.Program.m_params;
+  {
+    meth;
+    env;
+    agenda = List.map (fun s -> WStmt s) meth.Program.m_body;
+    ret_to;
+  }
+
+let spawn_task st ~frames ~is_dispatcher =
+  let t =
+    { tid = st.next_tid; frames; status = Runnable; is_dispatcher }
+  in
+  st.next_tid <- t.tid + 1;
+  st.tasks <- st.tasks @ [ t ];
+  t
+
+let monitor st addr =
+  match Hashtbl.find_opt st.monitors addr with
+  | Some m -> m
+  | None ->
+      let m = { owner = None; count = 0 } in
+      Hashtbl.add st.monitors addr m;
+      m
+
+let push_call st task (target : Program.meth) ~this ~args ~ret =
+  ignore st;
+  let caller = List.hd task.frames in
+  let ret_to = Option.map (fun v -> (caller, v)) ret in
+  let f = new_frame target ~this ~args ~ret_to in
+  task.frames <- f :: task.frames
+
+let pop_frame task value =
+  match task.frames with
+  | [] -> ()
+  | f :: rest ->
+      (match f.ret_to with
+      | Some (caller, v) -> Hashtbl.replace caller.env v value
+      | None -> ());
+      task.frames <- rest
+
+(* execute exactly one work item of [task]; may block the task *)
+let rec step_task st task =
+  match task.frames with
+  | [] ->
+      if task.is_dispatcher then begin
+        (* pick up the next posted event, if any *)
+        match Queue.take_opt st.event_queue with
+        | Some (addr, args, poster) -> (
+            let o = Hashtbl.find st.heap addr in
+            match Program.entry_method st.program o.o_class with
+            | Some entry ->
+                emit st (Espawn { parent = poster; child = task.tid });
+                task.frames <-
+                  [ new_frame entry ~this:(Some (VRef addr)) ~args ~ret_to:None ]
+            | None -> ())
+        | None -> ()
+      end
+      else task.status <- Finished
+  | frame :: _ -> (
+      match frame.agenda with
+      | [] -> pop_frame task VNull
+      | w :: rest -> (
+          frame.agenda <- rest;
+          match w with
+          | WRelease addr ->
+              let m = monitor st addr in
+              m.count <- m.count - 1;
+              if m.count = 0 then begin
+                m.owner <- None;
+                emit st (Erelease { task = task.tid; lock = addr })
+              end
+          | WStmt s -> exec_stmt st task frame s))
+
+and exec_stmt st task frame (s : Ast.stmt) =
+  let sid = s.Ast.sid in
+  let env = frame.env in
+  let p = st.program in
+  match s.Ast.sk with
+  | Ast.Null x -> Hashtbl.replace env x VNull
+  | Ast.Assign (x, y) -> Hashtbl.replace env x (lookup env y)
+  | Ast.New (x, c, args) -> (
+      let addr = alloc st c in
+      Hashtbl.replace env x (VRef addr);
+      match Program.dispatch p c "init" with
+      | Some init ->
+          push_call st task init ~this:(Some (VRef addr))
+            ~args:(List.map (lookup env) args)
+            ~ret:None
+      | None -> ())
+  | Ast.FieldWrite (x, f, y) ->
+      let addr, o = deref st env x in
+      emit st (Ewrite { task = task.tid; addr; field = f; sid });
+      Hashtbl.replace o.o_fields f (lookup env y)
+  | Ast.FieldRead (x, y, f) ->
+      let addr, o = deref st env y in
+      emit st (Eread { task = task.tid; addr; field = f; sid });
+      Hashtbl.replace env x
+        (match Hashtbl.find_opt o.o_fields f with Some v -> v | None -> VNull)
+  | Ast.ArrayWrite (x, y) ->
+      let addr, o = deref st env x in
+      emit st (Ewrite { task = task.tid; addr; field = "*"; sid });
+      o.o_cell <- lookup env y
+  | Ast.ArrayRead (x, y) ->
+      let addr, o = deref st env y in
+      emit st (Eread { task = task.tid; addr; field = "*"; sid });
+      Hashtbl.replace env x o.o_cell
+  | Ast.StaticWrite (c, f, y) ->
+      emit st (Eswrite { task = task.tid; cls = c; field = f; sid });
+      Hashtbl.replace st.heap (-1)
+        (match Hashtbl.find_opt st.heap (-1) with
+        | Some g -> g
+        | None -> { o_class = "<globals>"; o_fields = Hashtbl.create 16; o_cell = VNull });
+      let g = Hashtbl.find st.heap (-1) in
+      Hashtbl.replace g.o_fields (c ^ "::" ^ f) (lookup env y)
+  | Ast.StaticRead (x, c, f) ->
+      emit st (Esread { task = task.tid; cls = c; field = f; sid });
+      let v =
+        match Hashtbl.find_opt st.heap (-1) with
+        | Some g -> (
+            match Hashtbl.find_opt g.o_fields (c ^ "::" ^ f) with
+            | Some v -> v
+            | None -> VNull)
+        | None -> VNull
+      in
+      Hashtbl.replace env x v
+  | Ast.Call (ret, y, mname, args) -> (
+      let _, o = deref st env y in
+      match Program.dispatch p o.o_class mname with
+      | Some target ->
+          push_call st task target ~this:(Some (lookup env y))
+            ~args:(List.map (lookup env) args)
+            ~ret
+      | None ->
+          raise
+            (Runtime_error
+               (Printf.sprintf "no method %s on class %s" mname o.o_class)))
+  | Ast.StaticCall (ret, c, mname, args) -> (
+      match Program.static_method p c mname with
+      | Some target ->
+          push_call st task target ~this:None
+            ~args:(List.map (lookup env) args)
+            ~ret
+      | None ->
+          raise
+            (Runtime_error (Printf.sprintf "no static method %s::%s" c mname)))
+  | Ast.Start x -> (
+      let addr, o = deref st env x in
+      match
+        (Program.kind_of p o.o_class, Program.entry_method p o.o_class)
+      with
+      | Program.Kthread _, Some entry ->
+          let child =
+            spawn_task st
+              ~frames:
+                [ new_frame entry ~this:(Some (VRef addr)) ~args:[] ~ret_to:None ]
+              ~is_dispatcher:false
+          in
+          st.thread_of_obj <- (addr, child.tid) :: st.thread_of_obj;
+          emit st (Espawn { parent = task.tid; child = child.tid })
+      | _ -> raise (Runtime_error "start on a non-thread object"))
+  | Ast.Post (x, args) -> (
+      let addr, o = deref st env x in
+      match Program.kind_of p o.o_class with
+      | Program.Khandler _ ->
+          Queue.add (addr, List.map (lookup env) args, task.tid) st.event_queue
+      | _ -> raise (Runtime_error "post to a non-handler object"))
+  | Ast.Signal x ->
+      let addr, _ = deref st env x in
+      let c =
+        match Hashtbl.find_opt st.sems addr with
+        | Some c -> c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.add st.sems addr c;
+            c
+      in
+      incr c;
+      emit st (Esignal { task = task.tid; sem = addr })
+  | Ast.Wait x -> (
+      let addr, _ = deref st env x in
+      match Hashtbl.find_opt st.sems addr with
+      | Some c when !c > 0 ->
+          decr c;
+          emit st (Ewait { task = task.tid; sem = addr })
+      | _ ->
+          (* retry the wait when a signal arrives *)
+          frame.agenda <- WStmt s :: frame.agenda;
+          task.status <- Blocked_sem addr)
+  | Ast.Join x -> (
+      let addr, _ = deref st env x in
+      match List.assoc_opt addr st.thread_of_obj with
+      | Some tid -> task.status <- Blocked_join tid
+      | None -> ())
+  | Ast.Sync (x, body) ->
+      let addr, _ = deref st env x in
+      let m = monitor st addr in
+      let enter () =
+        m.owner <- Some task.tid;
+        if m.count = 0 then emit st (Eacquire { task = task.tid; lock = addr });
+        m.count <- m.count + 1;
+        frame.agenda <-
+          List.map (fun s -> WStmt s) body @ (WRelease addr :: frame.agenda)
+      in
+      (match m.owner with
+      | None -> enter ()
+      | Some t when t = task.tid -> enter ()
+      | Some _ ->
+          (* retry this statement when the monitor is released *)
+          frame.agenda <- WStmt s :: frame.agenda;
+          task.status <- Blocked_lock addr)
+  | Ast.If (b1, b2) ->
+      let chosen = if st.choose 2 = 0 then b1 else b2 in
+      frame.agenda <- List.map (fun s -> WStmt s) chosen @ frame.agenda
+  | Ast.While body ->
+      if st.choose 2 = 0 then
+        frame.agenda <-
+          List.map (fun s -> WStmt s) body @ (WStmt s :: frame.agenda)
+  | Ast.Return v ->
+      pop_frame task (match v with Some v -> lookup env v | None -> VNull)
+
+(* unblock tasks whose wait condition is now satisfied *)
+let refresh_statuses st =
+  List.iter
+    (fun t ->
+      match t.status with
+      | Blocked_lock addr ->
+          let m = monitor st addr in
+          if m.owner = None then t.status <- Runnable
+      | Blocked_join tid -> (
+          match List.find_opt (fun t' -> t'.tid = tid) st.tasks with
+          | Some t' when t'.status = Finished ->
+              emit st (Ejoin { parent = t.tid; child = tid });
+              t.status <- Runnable
+          | _ -> ())
+      | Blocked_sem addr -> (
+          match Hashtbl.find_opt st.sems addr with
+          | Some c when !c > 0 -> t.status <- Runnable
+          | _ -> ())
+      | _ -> ())
+    st.tasks
+
+let runnable st =
+  List.filter
+    (fun t ->
+      t.status = Runnable
+      && ((not t.is_dispatcher)
+          || t.frames <> []
+          || not (Queue.is_empty st.event_queue)))
+    st.tasks
+
+let all_finished st =
+  List.for_all
+    (fun t ->
+      match t.status with
+      | Finished -> true
+      | Runnable -> t.is_dispatcher && t.frames = [] && Queue.is_empty st.event_queue
+      | _ -> false)
+    st.tasks
+
+(* visible operations are the only points where interleaving matters: all
+   events (accesses, lock ops, spawn/join/semaphores) happen there. With
+   [visible_only], the scheduler keeps running the current task through
+   invisible statements without consuming a scheduling choice — a sound
+   partial-order reduction that shrinks the systematic explorer's choice
+   tree by orders of magnitude. *)
+let next_item_visible task =
+  match task.frames with
+  | [] -> task.is_dispatcher  (* event pickup emits a spawn *)
+  | frame :: _ -> (
+      match frame.agenda with
+      | [] -> false  (* frame pop *)
+      | WRelease _ :: _ -> true
+      | WStmt s :: _ -> (
+          match s.Ast.sk with
+          | Ast.Assign _ | Ast.Null _ | Ast.Return _ | Ast.New _
+          | Ast.Call _ | Ast.StaticCall _ | Ast.If _ | Ast.While _ ->
+              false
+          | _ -> true))
+
+let run ?(seed = 0) ?chooser ?(visible_only = false)
+    ?(max_steps = 100_000) ?(on_event = fun _ -> ()) program =
+  let choose =
+    match chooser with
+    | Some f -> f
+    | None ->
+        let rng = Random.State.make [| seed |] in
+        fun n -> if n <= 1 then 0 else Random.State.int rng n
+  in
+  let st =
+    {
+      program;
+      choose;
+      heap = Hashtbl.create 256;
+      next_addr = 0;
+      monitors = Hashtbl.create 16;
+      sems = Hashtbl.create 16;
+      tasks = [];
+      next_tid = 0;
+      events = [];
+      on_event;
+      event_queue = Queue.create ();
+      thread_of_obj = [];
+    }
+  in
+  let main = Program.main program in
+  let _main_task =
+    spawn_task st
+      ~frames:[ new_frame main ~this:None ~args:[] ~ret_to:None ]
+      ~is_dispatcher:false
+  in
+  let _dispatcher = spawn_task st ~frames:[] ~is_dispatcher:true in
+  let steps = ref 0 in
+  let deadlocked = ref false in
+  let last = ref (-1) in
+  (try
+     while (not (all_finished st)) && !steps < max_steps do
+       refresh_statuses st;
+       match runnable st with
+       | [] ->
+           if not (all_finished st) then deadlocked := true;
+           raise Exit
+       | rs ->
+           let current =
+             if not visible_only then None
+             else
+               List.find_opt
+                 (fun t ->
+                   t.tid = !last && not (next_item_visible t))
+                 rs
+           in
+           let t =
+             match current with
+             | Some t -> t  (* invisible step: no scheduling choice *)
+             | None -> List.nth rs (st.choose (List.length rs))
+           in
+           last := t.tid;
+           step_task st t;
+           incr steps
+     done
+   with Exit -> ());
+  {
+    steps = !steps;
+    completed = all_finished st && not !deadlocked;
+    deadlocked = !deadlocked;
+    events = List.rev st.events;
+  }

@@ -1,0 +1,61 @@
+(** A concrete CIR interpreter with a seeded random scheduler.
+
+    The substrate for validating the static analyses: programs execute with
+    per-statement interleaving of threads, an Android-style single event
+    dispatcher running posted handlers to completion in FIFO order (§4.2's
+    runtime model), reentrant per-object monitors, and nondeterministic
+    [if]/[while] resolved by the seeded RNG. Execution emits an {!event}
+    stream consumed by {!Dynrace}, the vector-clock dynamic race detector.
+
+    CIR is a pure pointer language — no arithmetic — so the observable
+    behaviour of a run is its event trace. *)
+
+open O2_ir
+
+type event =
+  | Eread of { task : int; addr : int; field : string; sid : int }
+  | Ewrite of { task : int; addr : int; field : string; sid : int }
+  | Esread of { task : int; cls : string; field : string; sid : int }
+      (** static-field read *)
+  | Eswrite of { task : int; cls : string; field : string; sid : int }
+  | Eacquire of { task : int; lock : int }
+  | Erelease of { task : int; lock : int }
+  | Espawn of { parent : int; child : int }
+      (** thread start; also emitted when the dispatcher picks up a posted
+          event, [parent] being the posting task *)
+  | Ejoin of { parent : int; child : int }
+  | Esignal of { task : int; sem : int }  (** semaphore post on object [sem] *)
+  | Ewait of { task : int; sem : int }
+      (** semaphore wait completed (the task consumed a signal) *)
+
+type outcome = {
+  steps : int;
+  completed : bool;  (** all tasks ran to completion (no deadlock/limit) *)
+  deadlocked : bool;
+  events : event list;  (** in execution order *)
+}
+
+exception Runtime_error of string
+(** Null dereference, calling a missing method, etc. *)
+
+(** [run ?seed ?chooser ?max_steps ?on_event p] executes [p].
+
+    @param seed scheduler RNG seed (default 0)
+    @param chooser overrides every nondeterministic choice (task selection,
+    [if] arms, [while] continuation): called with the number of
+    alternatives, must return an index in range. {!Explore} uses this to
+    enumerate schedules systematically.
+    @param visible_only partial-order reduction: schedule-switch only at
+    globally-visible operations (accesses, lock ops, spawns/joins,
+    semaphores) — every event interleaving is still reachable, but the
+    choice tree shrinks by orders of magnitude
+    @param max_steps global step budget (default 100_000)
+    @param on_event called on each event as it happens *)
+val run :
+  ?seed:int ->
+  ?chooser:(int -> int) ->
+  ?visible_only:bool ->
+  ?max_steps:int ->
+  ?on_event:(event -> unit) ->
+  Program.t ->
+  outcome

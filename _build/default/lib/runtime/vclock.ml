@@ -1,0 +1,20 @@
+module IntMap = Map.Make (Int)
+
+type t = int IntMap.t
+
+let empty = IntMap.empty
+let get vc tid = match IntMap.find_opt tid vc with Some c -> c | None -> 0
+let set vc tid c = IntMap.add tid c vc
+let tick vc tid = set vc tid (get vc tid + 1)
+
+let join a b =
+  IntMap.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = IntMap.for_all (fun tid c -> c <= get b tid) a
+
+let pp ppf vc =
+  Format.fprintf ppf "⟨%s⟩"
+    (String.concat ","
+       (List.map
+          (fun (t, c) -> Printf.sprintf "%d:%d" t c)
+          (IntMap.bindings vc)))

@@ -1,0 +1,23 @@
+(** Vector clocks over task ids, for the dynamic race checker. *)
+
+type t
+
+val empty : t
+
+(** [get vc tid] is the clock of task [tid] (0 when absent). *)
+val get : t -> int -> int
+
+(** [set vc tid c] overwrites one component. *)
+val set : t -> int -> int -> t
+
+(** [tick vc tid] increments [tid]'s component. *)
+val tick : t -> int -> t
+
+(** [join a b] is the componentwise maximum. *)
+val join : t -> t -> t
+
+(** [leq a b] is the componentwise ≤ — [a] happened before (or equals)
+    [b]. *)
+val leq : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/shb/dot.ml: Access Array Format Graph List O2_ir O2_pta Printf Query Solver String

@@ -1,0 +1,1 @@
+lib/shb/dot.mli: Format Graph O2_pta

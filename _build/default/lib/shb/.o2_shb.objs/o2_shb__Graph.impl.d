@@ -1,0 +1,1 @@
+lib/shb/graph.ml: Access Array Ast Context Format Hashtbl List Lockset O2_ir O2_pta O2_util Pag Program Queue Solver Types

@@ -1,0 +1,1 @@
+lib/shb/graph.mli: Access Format Lockset O2_ir O2_pta Solver Types

@@ -1,0 +1,1 @@
+lib/shb/lockset.ml: Hashtbl List O2_util

@@ -1,0 +1,1 @@
+lib/shb/lockset.mli:

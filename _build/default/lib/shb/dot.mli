@@ -1,0 +1,16 @@
+(** Graphviz (DOT) exporters for the SHB graph and the origin structure —
+    the visual the paper draws in Figure 2(b). *)
+
+(** [shb ppf g] renders the full SHB graph: one cluster per origin with its
+    trace in program order, dashed inter-origin spawn/join/semaphore
+    edges. *)
+val shb : Format.formatter -> Graph.t -> unit
+
+(** [origins ppf g] renders just the origin DAG: one node per origin,
+    spawn and join edges — the coarse structure the happens-before BFS
+    walks. *)
+val origins : Format.formatter -> Graph.t -> unit
+
+(** [callgraph ppf a] renders the context-sensitive call graph collapsed to
+    method granularity (Figure 2(b)/(c) style). *)
+val callgraph : Format.formatter -> O2_pta.Solver.t -> unit

@@ -1,0 +1,383 @@
+open O2_ir
+open O2_pta
+
+type node_kind =
+  | Read of Access.target
+  | Write of Access.target
+  | Acq of int
+  | Rel of int
+  | SpawnTo of int
+  | JoinOf of int
+  | SemSignal of int
+  | SemWait of int
+
+type node = {
+  n_id : int;
+  n_origin : int;
+  n_sid : int;
+  n_pos : Types.pos;
+  n_kind : node_kind;
+  n_lockset : int;
+}
+
+type t = {
+  solver : Solver.t;
+  locks : Lockset.t;
+  mutable all_nodes : node list;  (* reversed during build *)
+  mutable nodes_arr : node array;
+  mutable accesses_arr : node array;
+  mutable spawns_e : (int * int * int) list;
+  mutable joins_e : (int * int * int) list;
+  mutable sems_e : (int * int * int * int) list;
+  self_par : bool array;
+  ids : O2_util.Idgen.t;
+  serial_events : bool;
+  lock_region : bool;
+}
+
+let solver g = g.solver
+let locks g = g.locks
+let accesses g = g.accesses_arr
+let nodes g = g.nodes_arr
+let n_origins g = Array.length g.self_par
+let self_parallel g o = o >= 0 && o < Array.length g.self_par && g.self_par.(o)
+let spawn_edges g = g.spawns_e
+let join_edges g = g.joins_e
+let sem_edges g = g.sems_e
+
+(* ------------------------------------------------------------------ *)
+(* construction *)
+
+type region_state = {
+  mutable seen : (int * Access.target * bool) list;
+      (* (lockset, target, is_write) already represented in this region *)
+}
+
+let emit g ~origin ~sid ~pos ~kind ~lockset =
+  let n =
+    {
+      n_id = O2_util.Idgen.next g.ids;
+      n_origin = origin;
+      n_sid = sid;
+      n_pos = pos;
+      n_kind = kind;
+      n_lockset = lockset;
+    }
+  in
+  g.all_nodes <- n :: g.all_nodes;
+  n
+
+let build_origin g (sp : Solver.spawn) spawn_index =
+  let a = g.solver in
+  let origin = sp.Solver.sp_id in
+  let base_ls =
+    if g.serial_events && sp.Solver.sp_kind = `Event then
+      Lockset.id g.locks [ Lockset.dispatcher_lock ]
+    else Lockset.empty g.locks
+  in
+  let visited = Hashtbl.create 64 in
+  let region = { seen = [] } in
+  let reset_region () = region.seen <- [] in
+  let rec visit (m : Program.meth) ctx ls =
+    let key = (m.Program.m_class, m.Program.m_name, ctx) in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      body m ctx ls m.Program.m_body
+    end
+  and body m ctx ls stmts = List.iter (fun s -> stmt m ctx ls s) stmts
+  and follow_calls m ctx ls (s : Ast.stmt) =
+    ignore m;
+    List.iter
+      (fun (callee, cctx) -> visit callee cctx ls)
+      (Solver.callees a ~site:s.Ast.sid ~ctx)
+  and emit_access m ctx ls (s : Ast.stmt) targets is_write =
+    ignore (m, ctx);
+    List.iter
+      (fun target ->
+        let dup =
+          g.lock_region && List.mem (ls, target, is_write) region.seen
+        in
+        if not dup then begin
+          if g.lock_region then region.seen <- (ls, target, is_write) :: region.seen;
+          ignore
+            (emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos
+               ~kind:(if is_write then Write target else Read target)
+               ~lockset:ls)
+        end)
+      targets
+  and stmt m ctx ls (s : Ast.stmt) =
+    match s.Ast.sk with
+    | Ast.New _ | Ast.Call _ | Ast.StaticCall _ ->
+        (* Table 4 ⑮: the call node with HB edges to/from the callee body is
+           represented by inlining the callee's trace at the call site. *)
+        follow_calls m ctx ls s
+    | Ast.FieldWrite _ | Ast.FieldRead _ | Ast.ArrayWrite _ | Ast.ArrayRead _
+    | Ast.StaticWrite _ | Ast.StaticRead _ -> (
+        match Access.of_stmt a m ctx s with
+        | Some (targets, is_write) -> emit_access m ctx ls s targets is_write
+        | None -> ())
+    | Ast.Sync (x, sync_body) ->
+        (* Table 4 ⑯: lock/unlock nodes. A lock var counts as a must-lock
+           only when it points to a single abstract object — precision of
+           the pointer analysis directly decides protection here. *)
+        let pts = Solver.pts_var a m ctx x in
+        let ls' =
+          match O2_util.Bitset.elements pts with
+          | [ o ] ->
+              ignore (emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos ~kind:(Acq o) ~lockset:ls);
+              Lockset.acquire g.locks ls o
+          | _ -> ls
+        in
+        let saved = region.seen in
+        reset_region ();
+        body m ctx ls' sync_body;
+        (match O2_util.Bitset.elements pts with
+        | [ o ] ->
+            ignore (emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos ~kind:(Rel o) ~lockset:ls)
+        | _ -> ());
+        region.seen <- saved
+    | Ast.If (b1, b2) ->
+        body m ctx ls b1;
+        body m ctx ls b2
+    | Ast.While b -> body m ctx ls b
+    | Ast.Start x | Ast.Post (x, _) ->
+        (* Table 4 ⑰: entry(𝕆ᵢ,𝕆ⱼ) ⇒ origin_first(𝕆ⱼ) *)
+        let pts = Solver.pts_var a m ctx x in
+        let children =
+          match Hashtbl.find_opt spawn_index s.Ast.sid with
+          | Some l ->
+              List.filter
+                (fun (sp' : Solver.spawn) ->
+                  O2_util.Bitset.mem pts sp'.Solver.sp_obj)
+                l
+          | None -> []
+        in
+        List.iter
+          (fun (sp' : Solver.spawn) ->
+            let n =
+              emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos
+                ~kind:(SpawnTo sp'.Solver.sp_id) ~lockset:ls
+            in
+            g.spawns_e <- (origin, sp'.Solver.sp_id, n.n_id) :: g.spawns_e;
+            (* the HB position changed: accesses after this point are no
+               longer equivalent to accesses before it *)
+            reset_region ())
+          children
+    | Ast.Join x ->
+        (* Table 4 ⑱: origin_last(𝕆ⱼ) ⇒ join(𝕆ⱼ,𝕆ᵢ). A join is a must-join
+           only when the variable points to a single thread object. *)
+        let pts = Solver.pts_var a m ctx x in
+        (match O2_util.Bitset.elements pts with
+        | [ oid ] ->
+            Array.iter
+              (fun (sp' : Solver.spawn) ->
+                if sp'.Solver.sp_obj = oid && sp'.Solver.sp_kind = `Thread
+                then begin
+                  let n =
+                    emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos
+                      ~kind:(JoinOf sp'.Solver.sp_id) ~lockset:ls
+                  in
+                  g.joins_e <- (sp'.Solver.sp_id, origin, n.n_id) :: g.joins_e;
+                  reset_region ()
+                end)
+              (Solver.spawns a)
+        | _ -> ())
+    | Ast.Signal x ->
+        let pts = Solver.pts_var a m ctx x in
+        O2_util.Bitset.iter
+          (fun o ->
+            ignore
+              (emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos
+                 ~kind:(SemSignal o) ~lockset:ls);
+            reset_region ())
+          pts
+    | Ast.Wait x ->
+        let pts = Solver.pts_var a m ctx x in
+        O2_util.Bitset.iter
+          (fun o ->
+            ignore
+              (emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos ~kind:(SemWait o)
+                 ~lockset:ls);
+            reset_region ())
+          pts
+    | Ast.Assign _ | Ast.Null _ | Ast.Return _ -> ()
+  in
+  visit sp.Solver.sp_entry sp.Solver.sp_ectx base_ls
+
+let build ?(serial_events = true) ?(lock_region = true) a =
+  let sps = Solver.spawns a in
+  let p = Solver.program a in
+  let self_par =
+    Array.map
+      (fun (sp : Solver.spawn) ->
+        match Solver.policy a with
+        | Context.Korigin _ ->
+            (* §3.2: an origin allocated in a loop is doubled, so races
+               between run-time instances surface as races between the two
+               copies; treating each copy as self-parallel would instead
+               flag every origin-local object. (Re-starting one thread
+               object is an error in Java, so a started origin never runs
+               concurrently with itself.) *)
+            false
+        | _ ->
+            sp.Solver.sp_in_loop
+            || (sp.Solver.sp_obj >= 0
+               &&
+               let o = Pag.obj (Solver.pag a) sp.Solver.sp_obj in
+               Program.stmt_in_loop p o.Pag.ob_site))
+      sps
+  in
+  let g =
+    {
+      solver = a;
+      locks = Lockset.create ();
+      all_nodes = [];
+      nodes_arr = [||];
+      accesses_arr = [||];
+      spawns_e = [];
+      joins_e = [];
+      sems_e = [];
+      self_par;
+      ids = O2_util.Idgen.create ();
+      serial_events;
+      lock_region;
+    }
+  in
+  let spawn_index = Hashtbl.create 16 in
+  Array.iter
+    (fun (sp : Solver.spawn) ->
+      if sp.Solver.sp_site >= 0 then
+        let l =
+          match Hashtbl.find_opt spawn_index sp.Solver.sp_site with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace spawn_index sp.Solver.sp_site (sp :: l))
+    sps;
+  Array.iter (fun sp -> build_origin g sp spawn_index) sps;
+  (* transitive self-parallelism (non-origin policies): a child spawned by
+     a self-parallel origin has as many run-time instances as its parent —
+     under the origin policy the parent copies get distinct child origins
+     instead, so no propagation is needed there *)
+  (match Solver.policy a with
+  | Context.Korigin _ -> ()
+  | _ ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (parent, child, _) ->
+            if
+              parent >= 0
+              && child >= 0
+              && parent < Array.length g.self_par
+              && child < Array.length g.self_par
+              && g.self_par.(parent)
+              && not g.self_par.(child)
+            then begin
+              g.self_par.(child) <- true;
+              changed := true
+            end)
+          g.spawns_e
+      done);
+  let all = Array.of_list (List.rev g.all_nodes) in
+  g.nodes_arr <- all;
+  (* §4.3 semaphore HB rule: for every abstract semaphore with exactly one
+     static signal node, everything before the signal happens before
+     everything after each wait on it *)
+  let sigs = Hashtbl.create 8 and waits = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      match n.n_kind with
+      | SemSignal o ->
+          Hashtbl.replace sigs o (n :: (try Hashtbl.find sigs o with Not_found -> []))
+      | SemWait o ->
+          Hashtbl.replace waits o (n :: (try Hashtbl.find waits o with Not_found -> []))
+      | _ -> ())
+    all;
+  Hashtbl.iter
+    (fun o sig_nodes ->
+      match sig_nodes with
+      | [ s ] ->
+          List.iter
+            (fun w ->
+              if w.n_origin <> s.n_origin then
+                g.sems_e <-
+                  (s.n_origin, s.n_id, w.n_origin, w.n_id) :: g.sems_e)
+            (try Hashtbl.find waits o with Not_found -> [])
+      | _ -> ())
+    sigs;
+  g.accesses_arr <-
+    Array.of_list
+      (List.filter
+         (fun n -> match n.n_kind with Read _ | Write _ -> true | _ -> false)
+         (Array.to_list all));
+  g
+
+(* ------------------------------------------------------------------ *)
+(* happens-before *)
+
+(* Memoized BFS over (origin, position) states. From a position p in origin
+   X one can follow: a spawn edge of X at node id s ≥ p into the start of
+   the child, or X's join into its parent at node id j (everything in X
+   happens before j in the parent). Intra-origin order is the id order. *)
+let hb g (a : node) (b : node) =
+  if a.n_origin = b.n_origin then a.n_id < b.n_id
+  else begin
+    let best = Hashtbl.create 8 in
+    (* best.(origin) = minimal position reached so far *)
+    let queue = Queue.create () in
+    let push origin pos =
+      match Hashtbl.find_opt best origin with
+      | Some p when p <= pos -> ()
+      | _ ->
+          Hashtbl.replace best origin pos;
+          Queue.push (origin, pos) queue
+    in
+    push a.n_origin a.n_id;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x, p = Queue.pop queue in
+      if x = b.n_origin && p <= b.n_id then found := true
+      else begin
+        List.iter
+          (fun (parent, child, sid) ->
+            if parent = x && sid >= p then push child min_int)
+          g.spawns_e;
+        List.iter
+          (fun (child, parent, jid) -> if child = x then push parent jid)
+          g.joins_e;
+        List.iter
+          (fun (so, sid, wo, wid) -> if so = x && sid >= p then push wo wid)
+          g.sems_e
+      end
+    done;
+    !found
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let pp_kind g ppf = function
+  | Read t -> Format.fprintf ppf "read %a" (Access.pp_target g.solver) t
+  | Write t -> Format.fprintf ppf "write %a" (Access.pp_target g.solver) t
+  | Acq o -> Format.fprintf ppf "lock o%d" o
+  | Rel o -> Format.fprintf ppf "unlock o%d" o
+  | SpawnTo s -> Format.fprintf ppf "spawn O%d" s
+  | JoinOf s -> Format.fprintf ppf "join O%d" s
+  | SemSignal o -> Format.fprintf ppf "signal o%d" o
+  | SemWait o -> Format.fprintf ppf "wait o%d" o
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun o _ ->
+      Format.fprintf ppf "origin O%d%s:@," o
+        (if self_parallel g o then " (self-parallel)" else "");
+      Array.iter
+        (fun n ->
+          if n.n_origin = o then
+            Format.fprintf ppf "  #%d %a ls=%d@," n.n_id (pp_kind g) n.n_kind
+              n.n_lockset)
+        g.nodes_arr)
+    g.self_par;
+  Format.fprintf ppf "@]"

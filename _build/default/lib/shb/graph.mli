@@ -1,0 +1,87 @@
+(** The static happens-before (SHB) graph (§4, Table 4).
+
+    One trace of nodes per origin (read/write accesses, lock acquire and
+    release, spawn and join events), in static program order. Following
+    §4.1's first optimization, no intra-origin HB edges are stored: node ids
+    are globally monotone during construction, so intra-origin
+    happens-before is an integer comparison. The only explicit edges are
+    inter-origin: [entry(𝕆ᵢ,𝕆ⱼ) ⇒ origin_first(𝕆ⱼ)] at spawns and
+    [origin_last(𝕆ⱼ) ⇒ join(𝕆ⱼ,𝕆ᵢ)] at joins (Table 4 ⑰/⑱).
+
+    Each access node carries a canonical lockset id ({!Lockset}); with
+    [~lock_region:true] (the default, §4.1's third optimization) repeated
+    accesses to the same target inside one lock region collapse into the
+    representative first access — reset at spawn/join nodes inside the
+    region, where the happens-before position changes. *)
+
+open O2_ir
+open O2_pta
+
+type node_kind =
+  | Read of Access.target
+  | Write of Access.target
+  | Acq of int  (** lock object id *)
+  | Rel of int
+  | SpawnTo of int  (** spawn id of the started/posted origin *)
+  | JoinOf of int  (** spawn id of the joined origin *)
+  | SemSignal of int  (** semaphore post on abstract object id (§4.3) *)
+  | SemWait of int  (** semaphore wait on abstract object id *)
+
+type node = {
+  n_id : int;  (** monotone integer id (§4.1) *)
+  n_origin : int;  (** spawn id of the owning origin *)
+  n_sid : int;  (** statement id *)
+  n_pos : Types.pos;
+  n_kind : node_kind;
+  n_lockset : int;  (** canonical lockset id at this node *)
+}
+
+type t
+
+(** [build a] constructs the SHB graph from a solved analysis.
+
+    @param serial_events model the single dispatcher thread of §4.2: every
+    event-handler origin implicitly holds {!Lockset.dispatcher_lock}
+    (default [true]).
+    @param lock_region enable lock-region access merging (default [true];
+    the ablation benchmark disables it). *)
+val build : ?serial_events:bool -> ?lock_region:bool -> Solver.t -> t
+
+val solver : t -> Solver.t
+val locks : t -> Lockset.t
+
+(** [accesses g] lists all read/write access nodes, id-ascending. *)
+val accesses : t -> node array
+
+(** [nodes g] lists every node, id-ascending. *)
+val nodes : t -> node array
+
+(** [n_origins g] is the number of origins (= solver spawns). *)
+val n_origins : t -> int
+
+(** [self_parallel g o] is true iff origin [o] may run concurrently with
+    another instance of itself (spawned in a loop, or its thread object is
+    allocated in a loop under a policy without loop doubling). *)
+val self_parallel : t -> int -> bool
+
+(** [spawn_edges g] lists [(parent, child, node id of the spawn in the
+    parent's trace)]. *)
+val spawn_edges : t -> (int * int * int) list
+
+(** [join_edges g] lists [(child, parent, node id of the join in the
+    parent's trace)]. *)
+val join_edges : t -> (int * int * int) list
+
+(** [sem_edges g] lists the semaphore happens-before edges of the §4.3
+    extension, [(signal origin, signal node id, wait origin, wait node id)].
+    An edge exists only when the abstract semaphore object has exactly one
+    signal node program-wide — the statically-must handshake pattern. *)
+val sem_edges : t -> (int * int * int * int) list
+
+(** [hb g a b] decides statically-must happens-before between two nodes:
+    intra-origin by integer comparison, inter-origin by reachability over
+    spawn/join edges (memoized BFS). *)
+val hb : t -> node -> node -> bool
+
+(** [pp] dumps the per-origin traces (for debugging and the CLI). *)
+val pp : Format.formatter -> t -> unit

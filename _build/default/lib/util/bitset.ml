@@ -1,0 +1,125 @@
+type t = { mutable words : int array }
+
+let word_bits = Sys.int_size
+
+let create () = { words = Array.make 4 0 }
+
+let ensure s i =
+  let w = i / word_bits in
+  let n = Array.length s.words in
+  if w >= n then begin
+    let n' = ref (max 4 n) in
+    while w >= !n' do
+      n' := !n' * 2
+    done;
+    let a = Array.make !n' 0 in
+    Array.blit s.words 0 a 0 n;
+    s.words <- a
+  end
+
+let add s i =
+  if i < 0 then invalid_arg "Bitset.add: negative";
+  ensure s i;
+  let w = i / word_bits and b = i mod word_bits in
+  let old = s.words.(w) in
+  let nw = old lor (1 lsl b) in
+  if nw = old then false
+  else begin
+    s.words.(w) <- nw;
+    true
+  end
+
+let singleton i =
+  let s = create () in
+  ignore (add s i);
+  s
+
+let copy s = { words = Array.copy s.words }
+
+let mem s i =
+  if i < 0 then false
+  else
+    let w = i / word_bits in
+    w < Array.length s.words && s.words.(w) land (1 lsl (i mod word_bits)) <> 0
+
+let union_into ~into src =
+  ensure into ((Array.length src.words * word_bits) - 1 |> max 0);
+  let changed = ref false in
+  Array.iteri
+    (fun w sw ->
+      if sw <> 0 then begin
+        let old = into.words.(w) in
+        let nw = old lor sw in
+        if nw <> old then begin
+          into.words.(w) <- nw;
+          changed := true
+        end
+      end)
+    src.words;
+  !changed
+
+let iter_word f w base =
+  if w <> 0 then
+    for b = 0 to word_bits - 1 do
+      if w land (1 lsl b) <> 0 then f (base + b)
+    done
+
+let iter f s = Array.iteri (fun wi w -> iter_word f w (wi * word_bits)) s.words
+
+let fold f s acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i l -> i :: l) s [])
+
+let diff_new ~from ~minus =
+  let out = ref [] in
+  Array.iteri
+    (fun wi w ->
+      let mw = if wi < Array.length minus.words then minus.words.(wi) else 0 in
+      let d = w land lnot mw in
+      iter_word (fun i -> out := i :: !out) d (wi * word_bits))
+    from.words;
+  List.rev !out
+
+let popcount w =
+  let c = ref 0 and w = ref w in
+  while !w <> 0 do
+    incr c;
+    w := !w land (!w - 1)
+  done;
+  !c
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let exists p s =
+  try
+    iter (fun i -> if p i then raise Exit) s;
+    false
+  with Exit -> true
+
+let inter_nonempty a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let rec go i = i < n && (a.words.(i) land b.words.(i) <> 0 || go (i + 1)) in
+  go 0
+
+let subset a b =
+  let nb = Array.length b.words in
+  let ok = ref true in
+  Array.iteri
+    (fun wi w ->
+      let bw = if wi < nb then b.words.(wi) else 0 in
+      if w land lnot bw <> 0 then ok := false)
+    a.words;
+  !ok
+
+let equal a b = subset a b && subset b a
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,60 @@
+(** Growable dense bitsets over non-negative integers.
+
+    Points-to sets in the pointer-analysis solver are sets of interned
+    [⟨alloc-site, heap-context⟩] identifiers; this module provides the compact
+    mutable representation used for them, supporting the difference
+    propagation the worklist solver performs. *)
+
+type t
+
+(** [create ()] is a fresh empty bitset. *)
+val create : unit -> t
+
+(** [singleton i] is the bitset containing exactly [i]. *)
+val singleton : int -> t
+
+(** [copy s] is an independent copy of [s]. *)
+val copy : t -> t
+
+(** [add s i] adds [i]; returns [true] iff [i] was not already present. *)
+val add : t -> int -> bool
+
+(** [mem s i] tests membership; [i] may exceed the current capacity. *)
+val mem : t -> int -> bool
+
+(** [union_into ~into src] adds all of [src] into [into]; returns [true]
+    iff [into] changed. *)
+val union_into : into:t -> t -> bool
+
+(** [diff_new ~from ~minus] is the list of elements in [from] but not in
+    [minus] — the "delta" driving difference propagation. *)
+val diff_new : from:t -> minus:t -> int list
+
+(** [cardinal s] is the number of elements. O(words). *)
+val cardinal : t -> int
+
+(** [is_empty s] is [true] iff [s] has no element. *)
+val is_empty : t -> bool
+
+(** [iter f s] applies [f] to each element in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s acc] folds over elements in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [elements s] lists elements in increasing order. *)
+val elements : t -> int list
+
+(** [exists p s] is [true] iff some element satisfies [p]. *)
+val exists : (int -> bool) -> t -> bool
+
+(** [inter_nonempty a b] is [true] iff [a] and [b] share an element. *)
+val inter_nonempty : t -> t -> bool
+
+(** [equal a b] is extensional equality. *)
+val equal : t -> t -> bool
+
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type t = int ref
+
+let create () = ref 0
+
+let next t =
+  let v = !t in
+  incr t;
+  v
+
+let current t = !t

@@ -1,0 +1,16 @@
+(** Monotone integer id generators.
+
+    The SHB graph assigns each node a monotonically increasing id during
+    construction so that intra-origin happens-before reduces to an integer
+    comparison (§4.1 of the paper); this module supplies those streams. *)
+
+type t
+
+(** [create ()] starts a fresh stream at 0. *)
+val create : unit -> t
+
+(** [next t] returns the next id, starting at 0 and increasing by 1. *)
+val next : t -> int
+
+(** [current t] is the number of ids handed out so far. *)
+val current : t -> int

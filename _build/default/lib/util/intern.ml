@@ -1,0 +1,36 @@
+module Make (H : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type t = { ids : int Tbl.t; mutable values : H.t array; mutable next : int }
+
+  let create () = { ids = Tbl.create 64; values = [||]; next = 0 }
+
+  let intern t v =
+    match Tbl.find_opt t.ids v with
+    | Some id -> id
+    | None ->
+        let id = t.next in
+        t.next <- id + 1;
+        Tbl.add t.ids v id;
+        let cap = Array.length t.values in
+        if id >= cap then begin
+          let a = Array.make (max 8 (cap * 2)) v in
+          Array.blit t.values 0 a 0 cap;
+          t.values <- a
+        end;
+        t.values.(id) <- v;
+        id
+
+  let find_opt t v = Tbl.find_opt t.ids v
+
+  let value t id =
+    if id < 0 || id >= t.next then invalid_arg "Intern.value: unknown id";
+    t.values.(id)
+
+  let count t = t.next
+
+  let iter f t =
+    for id = 0 to t.next - 1 do
+      f id t.values.(id)
+    done
+end

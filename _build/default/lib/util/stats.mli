@@ -1,0 +1,34 @@
+(** Lightweight named counters and timers for analysis instrumentation.
+
+    The benchmark harness reads these to report the paper's per-analysis
+    metrics (#pointers, #objects, #PAG edges, #race checks, …). *)
+
+type t
+
+(** [create ()] is an empty statistics sink. *)
+val create : unit -> t
+
+(** [incr t name] bumps counter [name] by one (creating it at 0). *)
+val incr : t -> string -> unit
+
+(** [add t name n] bumps counter [name] by [n]. *)
+val add : t -> string -> int -> unit
+
+(** [set t name n] overwrites counter [name]. *)
+val set : t -> string -> int -> unit
+
+(** [get t name] is the current value of [name] (0 if never touched). *)
+val get : t -> string -> int
+
+(** [time t name f] runs [f ()], accumulating its wall-clock duration under
+    timer [name]; returns [f ()]'s result. *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** [get_time t name] is the accumulated seconds for timer [name]. *)
+val get_time : t -> string -> float
+
+(** [counters t] lists [(name, value)] sorted by name. *)
+val counters : t -> (string * int) list
+
+(** [pp] prints all counters and timers, one per line. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/figures.ml: O2_frontend

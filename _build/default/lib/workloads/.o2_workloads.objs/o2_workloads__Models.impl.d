@@ -1,0 +1,1 @@
+lib/workloads/models.ml: List O2_frontend O2_ir

@@ -1,0 +1,1 @@
+lib/workloads/models.mli: O2_ir

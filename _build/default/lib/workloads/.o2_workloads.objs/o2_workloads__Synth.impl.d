@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array List O2_ir Printf

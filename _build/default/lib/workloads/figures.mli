@@ -1,0 +1,19 @@
+(** The paper's expository example programs (Figures 2 and 3) in CIR.
+
+    Figure 2: two instances of the same thread class [T], with attribute
+    objects [op1]/[op2] selecting different [util] behaviours; the threads'
+    local [Data] objects must not be conflated — OPA distinguishes them by
+    origin, 0-ctx does not.
+
+    Figure 3: two thread classes [TA]/[TB] sharing a super-constructor that
+    allocates field [f]; without the context switch at origin allocations
+    both threads' [f] would alias ([⟨o_f, Tmain⟩]), with it they get
+    per-origin objects. *)
+
+val figure2 : unit -> O2_ir.Program.t
+val figure3 : unit -> O2_ir.Program.t
+
+(** Concrete sources, used by the quickstart example and parser tests. *)
+val figure2_src : string
+
+val figure3_src : string

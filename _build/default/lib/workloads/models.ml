@@ -1,0 +1,1435 @@
+type model = {
+  name : string;
+  expected_races : int;
+  program : unit -> O2_ir.Program.t;
+  fixed : unit -> O2_ir.Program.t;
+  describe : string;
+}
+
+let parse name src () = O2_frontend.Parser.parse_string ~file:(name ^ ".cir") src
+
+(* ===================================================================== *)
+(* Linux kernel (6 confirmed races). Origins: concurrent system calls
+   (modeled as two instances of the same syscall class, exactly as the
+   paper creates "two origins representing concurrent calls of the same
+   system call"), driver file-operation threads, interrupt handlers, and a
+   kernel thread created by the driver (nested origin). *)
+
+let linux_src =
+  {|main Kernel;
+
+class VdsoData { field cells; }
+class SysTzData { field minuteswest; field dsttime; }
+class GpioChip { field events; }
+class KBuffer { field buf; }
+class KStats { field count; field total; }
+class JiffiesTimer { field ticks; }
+class SpinLock { field held; }
+
+// __x64_sys_settimeofday: writes the vsyscall time zone data without
+// holding the vsyscall sequence lock; two origins model concurrent calls
+// of the same system call (exactly as the paper configures Linux).
+class SysSettimeofday extends Thread {
+  field vdata; field timer;
+  method init(vdata, timer) {
+    this.vdata = vdata; this.timer = timer;
+  }
+  method run() {
+    local vdata, timer, t, cells;
+    vdata = this.vdata;
+    timer = this.timer;
+    cells = vdata.cells;
+    cells[*] = vdata;           // RACE 1: concurrent update_vsyscall_tz
+    t = timer.ticks;            // RACE 2: vs irq tick write
+  }
+}
+
+// __x64_sys_mincore: two concurrent calls of the same syscall.
+class SysMincore extends Thread {
+  field tz; field stats; field lock;
+  method init(tz, stats, lock) {
+    this.tz = tz; this.stats = stats; this.lock = lock;
+  }
+  method run() {
+    local tz, stats, t;
+    tz = this.tz;
+    stats = this.stats;
+    t = tz.minuteswest;         // RACE 3: vs irq handler tz write
+    stats.count = stats;        // RACE 4: self-race of concurrent mincore
+    this.locked_update();
+  }
+  method locked_update() {
+    local lock, stats;
+    lock = this.lock;
+    stats = this.stats;
+    sync (lock) {
+      stats.total = stats;      // correctly protected sibling update:
+    }                           // locked vs locked never reported
+  }
+}
+
+// gpiolib driver read path (file_operations.read), racing with the
+// threaded irq handler it requested; also spawns a kernel worker.
+class DriverRead extends Thread {
+  field gpio; field kbuf;
+  method init(gpio, kbuf) { this.gpio = gpio; this.kbuf = kbuf; }
+  method run() {
+    local gpio, kbuf, e, worker;
+    gpio = this.gpio;
+    kbuf = this.kbuf;
+    worker = new KWorker(kbuf); // drivers may create kernel threads
+    start worker;
+    e = gpio.events;            // RACE 5: vs irq handler write
+    kbuf.buf = kbuf;            // RACE 6: vs the kthread's write
+  }
+}
+
+// request_threaded_irq handler: concurrent with everything.
+class IrqHandler extends Thread {
+  field gpio; field timer; field tz;
+  method init(gpio, timer, tz) {
+    this.gpio = gpio; this.timer = timer; this.tz = tz;
+  }
+  method run() {
+    local gpio, timer, tz;
+    gpio = this.gpio;
+    timer = this.timer;
+    tz = this.tz;
+    gpio.events = gpio;         // RACE 5 (writer side)
+    timer.ticks = timer;        // RACE 2 (writer side)
+    tz.minuteswest = tz;        // RACE 3 (writer side)
+  }
+}
+
+// kthread_create_on_node worker spawned by the driver (nested origin).
+class KWorker extends Thread {
+  field kbuf;
+  method init(kbuf) { this.kbuf = kbuf; }
+  method run() {
+    local kbuf;
+    kbuf = this.kbuf;
+    kbuf.buf = kbuf;            // RACE 6 (writer side)
+  }
+}
+
+class Kernel {
+  static method main() {
+    local vdata, tz, gpio, kbuf, stats, timer, lock, cellsArr;
+    local s1, s2, m1, m2, d, irq;
+    vdata = new VdsoData();
+    cellsArr = new VdsoData();
+    vdata.cells = cellsArr;
+    tz = new SysTzData();
+    gpio = new GpioChip();
+    kbuf = new KBuffer();
+    stats = new KStats();
+    timer = new JiffiesTimer();
+    lock = new SpinLock();
+    s1 = new SysSettimeofday(vdata, timer);
+    s2 = new SysSettimeofday(vdata, timer);
+    m1 = new SysMincore(tz, stats, lock);
+    m2 = new SysMincore(tz, stats, lock);
+    d = new DriverRead(gpio, kbuf);
+    irq = new IrqHandler(gpio, timer, tz);
+    start s1;
+    start s2;
+    start m1;
+    start m2;
+    start d;
+    start irq;
+  }
+}
+|}
+
+let linux_fixed_src =
+  {|main Kernel;
+
+class VdsoData { field cells; }
+class SysTzData { field minuteswest; field dsttime; }
+class GpioChip { field events; }
+class KBuffer { field buf; }
+class KStats { field count; }
+class JiffiesTimer { field ticks; }
+class SpinLock { field held; }
+
+class SysSettimeofday extends Thread {
+  field vdata; field timer; field lock;
+  method init(vdata, timer, lock) {
+    this.vdata = vdata; this.timer = timer; this.lock = lock;
+  }
+  method run() {
+    local vdata, timer, t, cells, lock;
+    vdata = this.vdata;
+    timer = this.timer;
+    lock = this.lock;
+    cells = vdata.cells;
+    sync (lock) {
+      cells[*] = vdata;
+      t = timer.ticks;
+    }
+  }
+}
+
+class SysMincore extends Thread {
+  field tz; field stats; field lock;
+  method init(tz, stats, lock) {
+    this.tz = tz; this.stats = stats; this.lock = lock;
+  }
+  method run() {
+    local tz, stats, t, lock;
+    tz = this.tz;
+    stats = this.stats;
+    lock = this.lock;
+    sync (lock) {
+      t = tz.minuteswest;
+      stats.count = stats;
+    }
+  }
+}
+
+class DriverRead extends Thread {
+  field gpio; field kbuf; field lock;
+  method init(gpio, kbuf, lock) {
+    this.gpio = gpio; this.kbuf = kbuf; this.lock = lock;
+  }
+  method run() {
+    local gpio, kbuf, e, worker, lock;
+    gpio = this.gpio;
+    kbuf = this.kbuf;
+    lock = this.lock;
+    worker = new KWorker(kbuf, lock);
+    start worker;
+    sync (lock) {
+      e = gpio.events;
+      kbuf.buf = kbuf;
+    }
+  }
+}
+
+class IrqHandler extends Thread {
+  field gpio; field timer; field tz; field lock;
+  method init(gpio, timer, tz, lock) {
+    this.gpio = gpio; this.timer = timer; this.tz = tz; this.lock = lock;
+  }
+  method run() {
+    local gpio, timer, tz, lock;
+    gpio = this.gpio;
+    timer = this.timer;
+    tz = this.tz;
+    lock = this.lock;
+    sync (lock) {
+      gpio.events = gpio;
+      timer.ticks = timer;
+      tz.minuteswest = tz;
+    }
+  }
+}
+
+class KWorker extends Thread {
+  field kbuf; field lock;
+  method init(kbuf, lock) { this.kbuf = kbuf; this.lock = lock; }
+  method run() {
+    local kbuf, lock;
+    kbuf = this.kbuf;
+    lock = this.lock;
+    sync (lock) {
+      kbuf.buf = kbuf;
+    }
+  }
+}
+
+class Kernel {
+  static method main() {
+    local vdata, tz, gpio, kbuf, stats, timer, lock, cellsArr;
+    local s1, s2, m1, m2, d, irq;
+    vdata = new VdsoData();
+    cellsArr = new VdsoData();
+    vdata.cells = cellsArr;
+    tz = new SysTzData();
+    gpio = new GpioChip();
+    kbuf = new KBuffer();
+    stats = new KStats();
+    timer = new JiffiesTimer();
+    lock = new SpinLock();
+    s1 = new SysSettimeofday(vdata, timer, lock);
+    s2 = new SysSettimeofday(vdata, timer, lock);
+    m1 = new SysMincore(tz, stats, lock);
+    m2 = new SysMincore(tz, stats, lock);
+    d = new DriverRead(gpio, kbuf, lock);
+    irq = new IrqHandler(gpio, timer, tz, lock);
+    start s1;
+    start s2;
+    start m1;
+    start m2;
+    start d;
+    start irq;
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* Memcached (3 confirmed races): the slab-reassign maintenance event
+   reads slabclass state without the slabs lock while worker threads grow
+   the slab list under it; plus stats updates from concurrent workers and
+   the stop_main_loop flag written by main while workers poll it. *)
+
+let memcached_src =
+  {|main Memcached;
+
+class SlabClass { field slabs; field list; }
+class Stats { field total; }
+class Settings { field stop; }
+class Mutex { field held; }
+
+// do_slabs_reassign: the slab maintainer runs as an event
+class SlabReassign extends Handler {
+  field sc;
+  method init(sc) { this.sc = sc; }
+  method handle() {
+    local sc, cur;
+    sc = this.sc;
+    cur = sc.slabs;        // RACE 1: missing slabs_lock
+  }
+}
+
+// worker thread: do_slabs_newslab under pthread_mutex
+class Worker extends Thread {
+  field sc; field stats; field settings; field lock;
+  method init(sc, stats, settings, lock) {
+    this.sc = sc; this.stats = stats;
+    this.settings = settings; this.lock = lock;
+  }
+  method run() {
+    local sc, stats, settings, lock, stop, item;
+    sc = this.sc;
+    stats = this.stats;
+    settings = this.settings;
+    lock = this.lock;
+    sync (lock) {
+      sc.slabs = sc;       // RACE 1 (writer side, correctly locked)
+      sc.list = sc;        // protected slab list growth (no race)
+    }
+    stats.total = stats;   // RACE 2: unlocked stats update
+    stop = settings.stop;  // RACE 3: polls stop_main_loop
+    item = new SlabClass();// thread-local allocation: never shared
+    item.slabs = item;
+  }
+}
+
+class Memcached {
+  static method main() {
+    local sc, stats, settings, lock, w1, w2, ev;
+    sc = new SlabClass();
+    stats = new Stats();
+    settings = new Settings();
+    lock = new Mutex();
+    w1 = new Worker(sc, stats, settings, lock);
+    w2 = new Worker(sc, stats, settings, lock);
+    ev = new SlabReassign(sc);
+    start w1;
+    start w2;
+    post ev();
+    settings.stop = settings;  // RACE 3: stop_main_loop write
+  }
+}
+|}
+
+let memcached_fixed_src =
+  {|main Memcached;
+
+class SlabClass { field slabs; field list; }
+class Stats { field total; }
+class Settings { field stop; }
+class Mutex { field held; }
+
+class SlabReassign extends Handler {
+  field sc; field lock;
+  method init(sc, lock) { this.sc = sc; this.lock = lock; }
+  method handle() {
+    local sc, cur, lock;
+    sc = this.sc;
+    lock = this.lock;
+    sync (lock) {
+      cur = sc.slabs;
+    }
+  }
+}
+
+class Worker extends Thread {
+  field sc; field stats; field settings; field lock;
+  method init(sc, stats, settings, lock) {
+    this.sc = sc; this.stats = stats;
+    this.settings = settings; this.lock = lock;
+  }
+  method run() {
+    local sc, stats, settings, lock, stop, item;
+    sc = this.sc;
+    stats = this.stats;
+    settings = this.settings;
+    lock = this.lock;
+    sync (lock) {
+      sc.slabs = sc;
+      sc.list = sc;
+      stats.total = stats;
+      stop = settings.stop;
+    }
+    item = new SlabClass();
+    item.slabs = item;
+  }
+}
+
+class Memcached {
+  static method main() {
+    local sc, stats, settings, lock, w1, w2, ev;
+    sc = new SlabClass();
+    stats = new Stats();
+    settings = new Settings();
+    lock = new Mutex();
+    w1 = new Worker(sc, stats, settings, lock);
+    w2 = new Worker(sc, stats, settings, lock);
+    ev = new SlabReassign(sc, lock);
+    start w1;
+    start w2;
+    post ev();
+    sync (lock) {
+      settings.stop = settings;
+    }
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* ZooKeeper 3.5.4, ZOOKEEPER-3819 (1 race): DataTree.createNode adds a
+   path to the session's ephemerals list under sync(list) while
+   deserialize adds without the lock. *)
+
+let zookeeper_src =
+  {|main ZooKeeper;
+
+class DataTree { field ephemerals; }
+class PathList { field paths; }
+
+// request handled by one server thread: DataTree.createNode
+class CreateNodeWorker extends Thread {
+  field tree;
+  method init(tree) { this.tree = tree; }
+  method run() {
+    local tree, list;
+    tree = this.tree;
+    list = tree.ephemerals;
+    sync (list) {
+      list.paths = list;  // RACE: add under sync(list)...
+    }
+  }
+}
+
+// concurrent request on another server thread: DataTree.deserialize
+class DeserializeWorker extends Thread {
+  field tree;
+  method init(tree) { this.tree = tree; }
+  method run() {
+    local tree, list;
+    tree = this.tree;
+    list = tree.ephemerals;
+    list.paths = list;    // RACE: ...vs add with the lock missing
+  }
+}
+
+class ZooKeeper {
+  static method main() {
+    local tree, list, c, d;
+    tree = new DataTree();
+    list = new PathList();
+    tree.ephemerals = list;
+    c = new CreateNodeWorker(tree);
+    d = new DeserializeWorker(tree);
+    start c;
+    start d;
+    join c;
+    join d;
+  }
+}
+|}
+
+let zookeeper_fixed_src =
+  {|main ZooKeeper;
+
+class DataTree { field ephemerals; }
+class PathList { field paths; }
+
+class CreateNodeWorker extends Thread {
+  field tree;
+  method init(tree) { this.tree = tree; }
+  method run() {
+    local tree, list;
+    tree = this.tree;
+    list = tree.ephemerals;
+    sync (list) {
+      list.paths = list;
+    }
+  }
+}
+
+class DeserializeWorker extends Thread {
+  field tree;
+  method init(tree) { this.tree = tree; }
+  method run() {
+    local tree, list;
+    tree = this.tree;
+    list = tree.ephemerals;
+    sync (list) {
+      list.paths = list;
+    }
+  }
+}
+
+class ZooKeeper {
+  static method main() {
+    local tree, list, c, d;
+    tree = new DataTree();
+    list = new PathList();
+    tree.ephemerals = list;
+    c = new CreateNodeWorker(tree);
+    d = new DeserializeWorker(tree);
+    start c;
+    start d;
+    join c;
+    join d;
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* Firefox Focus 8.0.15, Bug-1581940 (2 races): GeckoAppShell's global
+   application context is set from the UI thread's onCreate event while
+   the Gecko background thread reads it twice in bind() without
+   synchronization. *)
+
+let firefox_src =
+  {|main Focus;
+
+class GeckoAppShell {
+  static field appCtx;
+}
+class Context { field app; }
+class GeckoLock { field held; }
+
+// Gecko engine background thread: IChildProcess.bind()
+class GeckoBinder extends Thread {
+  field geckoLock;
+  method init(geckoLock) { this.geckoLock = geckoLock; }
+  method run() {
+    local ctx, again, geckoLock;
+    geckoLock = this.geckoLock;
+    ctx = GeckoAppShell::appCtx;     // RACE A: read vs UI-thread write
+    sync (geckoLock) {
+      // bind() holds Gecko's own monitor — but the UI thread does not
+      // take it, so this read races all the same (the second bug)
+      again = GeckoAppShell::appCtx; // RACE B
+    }
+  }
+}
+
+// MainActivity.onCreate, dispatched on the UI thread
+class OnCreate extends Handler {
+  field ctx;
+  method init(ctx) { this.ctx = ctx; }
+  method handle() {
+    local ctx;
+    ctx = this.ctx;
+    GeckoAppShell::appCtx = ctx;   // RACE A+B (writer side)
+  }
+}
+
+class Focus {
+  static method main() {
+    local ctx, binder, oncreate, geckoLock;
+    ctx = new Context();
+    geckoLock = new GeckoLock();
+    binder = new GeckoBinder(geckoLock);
+    oncreate = new OnCreate(ctx);
+    start binder;
+    post oncreate();
+  }
+}
+|}
+
+let firefox_fixed_src =
+  {|main Focus;
+
+class GeckoAppShell {
+  static field appCtx;
+  static field initLock;
+}
+class Context { field app; }
+class Lock { field held; }
+
+class GeckoBinder extends Thread {
+  field lock;
+  method init(lock) { this.lock = lock; }
+  method run() {
+    local ctx, again, lock;
+    lock = this.lock;
+    sync (lock) {
+      ctx = GeckoAppShell::appCtx;
+      again = GeckoAppShell::appCtx;
+    }
+  }
+}
+
+class OnCreate extends Handler {
+  field ctx; field lock;
+  method init(ctx, lock) { this.ctx = ctx; this.lock = lock; }
+  method handle() {
+    local ctx, lock;
+    ctx = this.ctx;
+    lock = this.lock;
+    sync (lock) {
+      GeckoAppShell::appCtx = ctx;
+    }
+  }
+}
+
+class Focus {
+  static method main() {
+    local ctx, binder, oncreate, lock;
+    ctx = new Context();
+    lock = new Lock();
+    binder = new GeckoBinder(lock);
+    oncreate = new OnCreate(ctx, lock);
+    start binder;
+    post oncreate();
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* Redis / RedisGraph (5 races): background-I/O threads are started from
+   the main thread, and module threads are started from a bio thread —
+   nested thread creation, the pattern §3.2 motivates k-origin with. *)
+
+let redis_src =
+  {|main Redis;
+
+class Server {
+  field dirty; field lruclock; field loading; field statnet; field aofstate;
+}
+class Mutex { field held; }
+
+// bio.c background thread, itself spawning a lazy-free helper
+class BioThread extends Thread {
+  field srv; field lock;
+  method init(srv, lock) { this.srv = srv; this.lock = lock; }
+  method run() {
+    local srv, lock, helper, v;
+    srv = this.srv;
+    lock = this.lock;
+    srv.dirty = srv;          // RACE 1: vs serverCron in main-like thread
+    v = srv.loading;          // RACE 3: unprotected loading check
+    helper = new LazyFree(srv);
+    start helper;             // nested origin (Redis pattern)
+    sync (lock) {
+      srv.aofstate = srv;     // protected here...
+    }
+  }
+}
+
+class LazyFree extends Thread {
+  field srv;
+  method init(srv) { this.srv = srv; }
+  method run() {
+    local srv;
+    srv = this.srv;
+    srv.statnet = srv;        // RACE 4: vs cron stat reader
+    srv.aofstate = srv;       // RACE 5: ...but unprotected here
+  }
+}
+
+// serverCron, modeled as the event it is in Redis' ae event loop
+class ServerCron extends Handler {
+  field srv;
+  method init(srv) { this.srv = srv; }
+  method handle() {
+    local srv, v;
+    srv = this.srv;
+    srv.dirty = srv;          // RACE 1 (other side)
+    srv.lruclock = srv;       // RACE 2: vs module thread read
+    v = srv.statnet;          // RACE 4 (reader side)
+  }
+}
+
+// RedisGraph module worker
+class ModuleWorker extends Thread {
+  field srv;
+  method init(srv) { this.srv = srv; }
+  method run() {
+    local srv, v;
+    srv = this.srv;
+    v = srv.lruclock;         // RACE 2 (reader side)
+    srv.loading = srv;        // RACE 3 (writer side)
+  }
+}
+
+class Redis {
+  static method main() {
+    local srv, lock, bio, cron, mod;
+    srv = new Server();
+    lock = new Mutex();
+    bio = new BioThread(srv, lock);
+    cron = new ServerCron(srv);
+    mod = new ModuleWorker(srv);
+    start bio;
+    start mod;
+    post cron();
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* Open vSwitch (3 races): handler threads vs revalidator threads on the
+   shared udpif state. *)
+
+let ovs_src =
+  {|main Ovs;
+
+class Udpif { field nflows; field dumpseq; field reval; }
+class Mutex { field held; }
+
+class HandlerThread extends Thread {
+  field u; field lock;
+  method init(u, lock) { this.u = u; this.lock = lock; }
+  method run() {
+    local u, lock, v;
+    u = this.u;
+    lock = this.lock;
+    u.nflows = u;           // RACE 1: flow counter, no lock
+    v = u.dumpseq;          // RACE 2: seq read vs revalidator bump
+    sync (lock) {
+      u.reval = u;          // properly locked
+    }
+  }
+}
+
+class Revalidator extends Thread {
+  field u; field lock;
+  method init(u, lock) { this.u = u; this.lock = lock; }
+  method run() {
+    local u, lock, v;
+    u = this.u;
+    lock = this.lock;
+    v = u.nflows;           // RACE 1 (reader side)
+    u.dumpseq = u;          // RACE 2 (writer side)
+    u.reval = u;            // RACE 3: missing lock on this path
+  }
+}
+
+class Ovs {
+  static method main() {
+    local u, lock, h, r;
+    u = new Udpif();
+    lock = new Mutex();
+    h = new HandlerThread(u, lock);
+    r = new Revalidator(u, lock);
+    start h;
+    start r;
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* cpqueue (7 races): a buggy "concurrent" priority queue where the
+   author protected only the enqueue path; two identical worker threads
+   exercise every unprotected structure field. *)
+
+let cpqueue_src =
+  {|main CpQueue;
+
+class Queue {
+  field head; field tail; field size; field cap; field flags; field gen;
+  field waiters; field prio;
+}
+class Node { field next; field value; }
+class Mutex { field held; }
+
+class QWorker extends Thread {
+  field q; field lock;
+  method init(q, lock) { this.q = q; this.lock = lock; }
+  method run() {
+    local q, lock, n;
+    q = this.q;
+    lock = this.lock;
+    n = new Node();            // thread-local node: fine
+    n.value = n;
+    sync (lock) {
+      q.prio = q;              // the one access path the author protected
+    }
+    q.head = q;                // RACE 1: head written lock-free
+    q.tail = q;                // RACE 2
+    q.size = q;                // RACE 3
+    q.cap = q;                 // RACE 4: resize without lock
+    q.flags = q;               // RACE 5
+    q.gen = q;                 // RACE 6
+    q.waiters = q;             // RACE 7
+  }
+}
+
+class CpQueue {
+  static method main() {
+    local q, lock, w1, w2;
+    q = new Queue();
+    lock = new Mutex();
+    w1 = new QWorker(q, lock);
+    w2 = new QWorker(q, lock);
+    start w1;
+    start w2;
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* mrlock (5 races): a multi-resource lock whose bitmap manipulation is
+   itself unsynchronized. *)
+
+let mrlock_src =
+  {|main MrLock;
+
+class LockState { field bitmap; field holders; field nextticket; field serving; field spin; }
+class Mutex { field held; }
+
+class Acquirer extends Thread {
+  field st; field guard;
+  method init(st, guard) { this.st = st; this.guard = guard; }
+  method run() {
+    local st, guard, v;
+    st = this.st;
+    guard = this.guard;
+    st.bitmap = st;          // RACE 1
+    st.holders = st;         // RACE 2
+    st.nextticket = st;      // RACE 3: ticket bump, unprotected
+    v = st.serving;          // RACE 4 (reader side)
+    sync (guard) {
+      st.spin = st;          // protected
+    }
+  }
+}
+
+class Releaser extends Thread {
+  field st; field guard;
+  method init(st, guard) { this.st = st; this.guard = guard; }
+  method run() {
+    local st, guard, v;
+    st = this.st;
+    guard = this.guard;
+    v = st.bitmap;           // RACE 1 (reader)
+    v = st.holders;          // RACE 2 (reader)
+    v = st.nextticket;       // RACE 3 (reader side)
+    st.serving = st;         // RACE 4: serving bump without order
+    st.spin = st;            // RACE 5: forgot the guard on release
+  }
+}
+
+class MrLock {
+  static method main() {
+    local st, guard, a, r;
+    st = new LockState();
+    guard = new Mutex();
+    a = new Acquirer(st, guard);
+    r = new Releaser(st, guard);
+    start a;
+    start r;
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* TDengine (6 races): vnode write threads, an http event handler and the
+   sync/replication thread on the shared dnode state. *)
+
+let tdengine_src =
+  {|main TDengine;
+
+class DnodeState {
+  field vstatus; field qcount; field connections; field score; field role; field dropping;
+}
+class Mutex { field held; }
+
+class VnodeWriter extends Thread {
+  field st; field lock;
+  method init(st, lock) { this.st = st; this.lock = lock; }
+  method run() {
+    local st, lock, v;
+    st = this.st;
+    lock = this.lock;
+    st.vstatus = st;        // RACE 1
+    st.qcount = st;         // RACE 2
+    v = st.dropping;        // RACE 6: drop-flag poll
+    sync (lock) {
+      st.role = st;         // properly locked role change
+    }
+  }
+}
+
+class HttpHandler extends Handler {
+  field st;
+  method init(st) { this.st = st; }
+  method handle() {
+    local st, v;
+    st = this.st;
+    st.connections = st;    // RACE 3: vs monitor thread read
+    v = st.vstatus;         // RACE 1 (reader side)
+    v = st.score;           // RACE 4
+  }
+}
+
+class SyncThread extends Thread {
+  field st; field lock;
+  method init(st, lock) { this.st = st; this.lock = lock; }
+  method run() {
+    local st, lock, v;
+    st = this.st;
+    lock = this.lock;
+    v = st.connections;     // RACE 3 (reader side)
+    st.score = st;          // RACE 4 (writer side)
+    v = st.qcount;          // RACE 2 (reader side)
+    st.role = st;           // RACE 5: role write missing the lock
+    st.dropping = st;       // RACE 6 (writer side)
+  }
+}
+
+class TDengine {
+  static method main() {
+    local st, lock, w, h, s;
+    st = new DnodeState();
+    lock = new Mutex();
+    w = new VnodeWriter(st, lock);
+    h = new HttpHandler(st);
+    s = new SyncThread(st, lock);
+    start w;
+    start s;
+    post h();
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* HBase 2.8.0, HBASE-24374 (1 race): Encryption.getKeyProvider reads and
+   populates keyProviderCache without synchronization. *)
+
+let hbase_src =
+  {|main HBase;
+
+class Encryption {
+  static field keyProviderCache;
+}
+class Cache { field entries; }
+
+class RegionOpener extends Thread {
+  method run() {
+    local fresh;
+    fresh = new Cache();
+    // getKeyProvider(): concurrent unsynchronized cache population —
+    // both region openers may install their own provider, losing one
+    Encryption::keyProviderCache = fresh;  // RACE
+  }
+}
+
+class HBase {
+  static method main() {
+    local r1, r2, seed;
+    seed = new Cache();
+    Encryption::keyProviderCache = seed;   // before threads: ordered by spawn
+    r1 = new RegionOpener();
+    r2 = new RegionOpener();
+    start r1;
+    start r2;
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* Tomcat (1 race): the connector's running flag is written by the
+   lifecycle event while acceptor threads poll it unlocked. *)
+
+let tomcat_src =
+  {|main Tomcat;
+
+class Endpoint { field running; field paused; }
+class Mutex { field held; }
+
+class Acceptor extends Thread {
+  field ep; field lock;
+  method init(ep, lock) { this.ep = ep; this.lock = lock; }
+  method run() {
+    local ep, lock, v;
+    ep = this.ep;
+    lock = this.lock;
+    v = ep.running;        // RACE: poll without the state lock
+    sync (lock) {
+      v = ep.paused;       // the paused flag is read correctly
+    }
+  }
+}
+
+class StopEvent extends Handler {
+  field ep; field lock;
+  method init(ep, lock) { this.ep = ep; this.lock = lock; }
+  method handle() {
+    local ep, lock;
+    ep = this.ep;
+    lock = this.lock;
+    ep.running = ep;       // RACE (writer side)
+    sync (lock) {
+      ep.paused = ep;
+    }
+  }
+}
+
+class Tomcat {
+  static method main() {
+    local ep, lock, a, stop;
+    ep = new Endpoint();
+    lock = new Mutex();
+    a = new Acceptor(ep, lock);
+    stop = new StopEvent(ep, lock);
+    start a;
+    post stop();
+  }
+}
+|}
+
+(* ===================================================================== *)
+(* Fixed variants: the developers' repairs — every previously-racy access
+   is placed under the common lock (or, for hbase, the openers are
+   serialized by joining the first before starting the second). *)
+
+let redis_fixed_src =
+  {|main Redis;
+
+class Server {
+  field dirty; field lruclock; field loading; field statnet; field aofstate;
+}
+class Mutex { field held; }
+
+class BioThread extends Thread {
+  field srv; field lock;
+  method init(srv, lock) { this.srv = srv; this.lock = lock; }
+  method run() {
+    local srv, lock, helper, v;
+    srv = this.srv;
+    lock = this.lock;
+    helper = new LazyFree(srv, lock);
+    start helper;
+    sync (lock) {
+      srv.dirty = srv;
+      v = srv.loading;
+      srv.aofstate = srv;
+    }
+  }
+}
+
+class LazyFree extends Thread {
+  field srv; field lock;
+  method init(srv, lock) { this.srv = srv; this.lock = lock; }
+  method run() {
+    local srv, lock;
+    srv = this.srv;
+    lock = this.lock;
+    sync (lock) {
+      srv.statnet = srv;
+      srv.aofstate = srv;
+    }
+  }
+}
+
+class ServerCron extends Handler {
+  field srv; field lock;
+  method init(srv, lock) { this.srv = srv; this.lock = lock; }
+  method handle() {
+    local srv, lock, v;
+    srv = this.srv;
+    lock = this.lock;
+    sync (lock) {
+      srv.dirty = srv;
+      srv.lruclock = srv;
+      v = srv.statnet;
+    }
+  }
+}
+
+class ModuleWorker extends Thread {
+  field srv; field lock;
+  method init(srv, lock) { this.srv = srv; this.lock = lock; }
+  method run() {
+    local srv, lock, v;
+    srv = this.srv;
+    lock = this.lock;
+    sync (lock) {
+      v = srv.lruclock;
+      srv.loading = srv;
+    }
+  }
+}
+
+class Redis {
+  static method main() {
+    local srv, lock, bio, cron, mod;
+    srv = new Server();
+    lock = new Mutex();
+    bio = new BioThread(srv, lock);
+    cron = new ServerCron(srv, lock);
+    mod = new ModuleWorker(srv, lock);
+    start bio;
+    start mod;
+    post cron();
+  }
+}
+|}
+
+let ovs_fixed_src =
+  {|main Ovs;
+
+class Udpif { field nflows; field dumpseq; field reval; }
+class Mutex { field held; }
+
+class HandlerThread extends Thread {
+  field u; field lock;
+  method init(u, lock) { this.u = u; this.lock = lock; }
+  method run() {
+    local u, lock, v;
+    u = this.u;
+    lock = this.lock;
+    sync (lock) {
+      u.nflows = u;
+      v = u.dumpseq;
+      u.reval = u;
+    }
+  }
+}
+
+class Revalidator extends Thread {
+  field u; field lock;
+  method init(u, lock) { this.u = u; this.lock = lock; }
+  method run() {
+    local u, lock, v;
+    u = this.u;
+    lock = this.lock;
+    sync (lock) {
+      v = u.nflows;
+      u.dumpseq = u;
+      u.reval = u;
+    }
+  }
+}
+
+class Ovs {
+  static method main() {
+    local u, lock, h, r;
+    u = new Udpif();
+    lock = new Mutex();
+    h = new HandlerThread(u, lock);
+    r = new Revalidator(u, lock);
+    start h;
+    start r;
+  }
+}
+|}
+
+let cpqueue_fixed_src =
+  {|main CpQueue;
+
+class Queue {
+  field head; field tail; field size; field cap; field flags; field gen;
+  field waiters; field prio;
+}
+class Node { field next; field value; }
+class Mutex { field held; }
+
+class QWorker extends Thread {
+  field q; field lock;
+  method init(q, lock) { this.q = q; this.lock = lock; }
+  method run() {
+    local q, lock, n;
+    q = this.q;
+    lock = this.lock;
+    n = new Node();
+    n.value = n;
+    sync (lock) {
+      q.prio = q;
+      q.head = q;
+      q.tail = q;
+      q.size = q;
+      q.cap = q;
+      q.flags = q;
+      q.gen = q;
+      q.waiters = q;
+    }
+  }
+}
+
+class CpQueue {
+  static method main() {
+    local q, lock, w1, w2;
+    q = new Queue();
+    lock = new Mutex();
+    w1 = new QWorker(q, lock);
+    w2 = new QWorker(q, lock);
+    start w1;
+    start w2;
+  }
+}
+|}
+
+let mrlock_fixed_src =
+  {|main MrLock;
+
+class LockState { field bitmap; field holders; field nextticket; field serving; field spin; }
+class Mutex { field held; }
+
+class Acquirer extends Thread {
+  field st; field guard;
+  method init(st, guard) { this.st = st; this.guard = guard; }
+  method run() {
+    local st, guard, v;
+    st = this.st;
+    guard = this.guard;
+    sync (guard) {
+      st.bitmap = st;
+      st.holders = st;
+      st.nextticket = st;
+      v = st.serving;
+      st.spin = st;
+    }
+  }
+}
+
+class Releaser extends Thread {
+  field st; field guard;
+  method init(st, guard) { this.st = st; this.guard = guard; }
+  method run() {
+    local st, guard, v;
+    st = this.st;
+    guard = this.guard;
+    sync (guard) {
+      v = st.bitmap;
+      v = st.holders;
+      v = st.nextticket;
+      st.serving = st;
+      st.spin = st;
+    }
+  }
+}
+
+class MrLock {
+  static method main() {
+    local st, guard, a, r;
+    st = new LockState();
+    guard = new Mutex();
+    a = new Acquirer(st, guard);
+    r = new Releaser(st, guard);
+    start a;
+    start r;
+  }
+}
+|}
+
+let tdengine_fixed_src =
+  {|main TDengine;
+
+class DnodeState {
+  field vstatus; field qcount; field connections; field score; field role; field dropping;
+}
+class Mutex { field held; }
+
+class VnodeWriter extends Thread {
+  field st; field lock;
+  method init(st, lock) { this.st = st; this.lock = lock; }
+  method run() {
+    local st, lock, v;
+    st = this.st;
+    lock = this.lock;
+    sync (lock) {
+      st.vstatus = st;
+      st.qcount = st;
+      v = st.dropping;
+      st.role = st;
+    }
+  }
+}
+
+class HttpHandler extends Handler {
+  field st; field lock;
+  method init(st, lock) { this.st = st; this.lock = lock; }
+  method handle() {
+    local st, lock, v;
+    st = this.st;
+    lock = this.lock;
+    sync (lock) {
+      st.connections = st;
+      v = st.vstatus;
+      v = st.score;
+    }
+  }
+}
+
+class SyncThread extends Thread {
+  field st; field lock;
+  method init(st, lock) { this.st = st; this.lock = lock; }
+  method run() {
+    local st, lock, v;
+    st = this.st;
+    lock = this.lock;
+    sync (lock) {
+      v = st.connections;
+      st.score = st;
+      v = st.qcount;
+      st.role = st;
+      st.dropping = st;
+    }
+  }
+}
+
+class TDengine {
+  static method main() {
+    local st, lock, w, h, s;
+    st = new DnodeState();
+    lock = new Mutex();
+    w = new VnodeWriter(st, lock);
+    h = new HttpHandler(st, lock);
+    s = new SyncThread(st, lock);
+    start w;
+    start s;
+    post h();
+  }
+}
+|}
+
+let hbase_fixed_src =
+  {|main HBase;
+
+class Encryption {
+  static field keyProviderCache;
+}
+class Cache { field entries; }
+
+class RegionOpener extends Thread {
+  method run() {
+    local fresh;
+    fresh = new Cache();
+    Encryption::keyProviderCache = fresh;
+  }
+}
+
+class HBase {
+  static method main() {
+    local r1, r2, seed;
+    seed = new Cache();
+    Encryption::keyProviderCache = seed;
+    r1 = new RegionOpener();
+    start r1;
+    join r1;            // the fix: serialize the cache population
+    r2 = new RegionOpener();
+    start r2;
+    join r2;
+  }
+}
+|}
+
+let tomcat_fixed_src =
+  {|main Tomcat;
+
+class Endpoint { field running; field paused; }
+class Mutex { field held; }
+
+class Acceptor extends Thread {
+  field ep; field lock;
+  method init(ep, lock) { this.ep = ep; this.lock = lock; }
+  method run() {
+    local ep, lock, v;
+    ep = this.ep;
+    lock = this.lock;
+    sync (lock) {
+      v = ep.running;
+      v = ep.paused;
+    }
+  }
+}
+
+class StopEvent extends Handler {
+  field ep; field lock;
+  method init(ep, lock) { this.ep = ep; this.lock = lock; }
+  method handle() {
+    local ep, lock;
+    ep = this.ep;
+    lock = this.lock;
+    sync (lock) {
+      ep.running = ep;
+      ep.paused = ep;
+    }
+  }
+}
+
+class Tomcat {
+  static method main() {
+    local ep, lock, a, stop;
+    ep = new Endpoint();
+    lock = new Mutex();
+    a = new Acceptor(ep, lock);
+    stop = new StopEvent(ep, lock);
+    start a;
+    post stop();
+  }
+}
+|}
+
+let mk name expected describe racy fixed =
+  {
+    name;
+    expected_races = expected;
+    program = parse name racy;
+    fixed = parse (name ^ "-fixed") fixed;
+    describe;
+  }
+
+let all =
+  [
+    mk "linux" 6
+      "vsyscall tz update, gpio driver vs threaded irq, kthread buffer, \
+       concurrent syscall self-races"
+      linux_src linux_fixed_src;
+    mk "tdengine" 6
+      "dnode status/queue/connection/score/role/drop-flag races between \
+       vnode writers, the http event handler and the sync thread"
+      tdengine_src tdengine_fixed_src;
+    mk "redis" 5
+      "serverCron event vs bio/module threads; nested thread creation \
+       (bio thread spawns lazy-free helper)"
+      redis_src redis_fixed_src;
+    mk "ovs" 3 "handler vs revalidator threads on shared udpif state"
+      ovs_src ovs_fixed_src;
+    mk "cpqueue" 7
+      "lock-free priority queue with only the enqueue path protected"
+      cpqueue_src cpqueue_fixed_src;
+    mk "mrlock" 5 "multi-resource lock with unsynchronized bitmap updates"
+      mrlock_src mrlock_fixed_src;
+    mk "memcached" 3
+      "slab reassign event vs worker slab growth; stats counters; \
+       stop_main_loop flag"
+      memcached_src memcached_fixed_src;
+    mk "firefox" 2
+      "GeckoAppShell application context: UI-thread onCreate write vs two \
+       Gecko background-thread reads (Bug-1581940)"
+      firefox_src firefox_fixed_src;
+    mk "zookeeper" 1
+      "DataTree ephemerals list: createNode locks it, deserialize does not \
+       (ZOOKEEPER-3819)"
+      zookeeper_src zookeeper_fixed_src;
+    mk "hbase" 1
+      "Encryption.keyProviderCache populated without synchronization \
+       (HBASE-24374)"
+      hbase_src hbase_fixed_src;
+    mk "tomcat" 1
+      "endpoint running flag: lifecycle stop event vs acceptor poll"
+      tomcat_src tomcat_fixed_src;
+  ]
+
+let find name = List.find (fun m -> m.name = name) all

@@ -1,0 +1,34 @@
+(** CIR models of the real-world races O2 found (§5.4, Table 10).
+
+    Each model transcribes the published buggy code structure — the
+    thread/event mix, the lock discipline, and the defect — into CIR, sized
+    so that O2 reports exactly the number of confirmed races in Table 10.
+    Each model also has a [*_fixed] variant with the missing synchronization
+    added, on which O2 must report zero races (the regression the paper's
+    developers applied).
+
+    All these races arise from thread–event interaction or from concurrent
+    instances of the same entry point, the situations §2 argues require the
+    unified origin abstraction. *)
+
+type model = {
+  name : string;
+  expected_races : int;  (** the Table 10 count *)
+  program : unit -> O2_ir.Program.t;
+  fixed : unit -> O2_ir.Program.t;
+  describe : string;  (** one-line summary of the underlying bug *)
+}
+
+(** All models, in Table 10 column order: Linux, TDengine, Redis/RedisGraph,
+    OVS, cpqueue, mrlock, Memcached, Firefox, ZooKeeper, HBase, Tomcat. *)
+val all : model list
+
+val find : string -> model
+(** @raise Not_found for unknown names *)
+
+(** Individual sources (parseable CIR), exported for the examples. *)
+val memcached_src : string
+
+val zookeeper_src : string
+val firefox_src : string
+val linux_src : string

@@ -1,0 +1,398 @@
+open O2_ir.Builder
+
+type spec = {
+  s_name : string;
+  s_thread_classes : int;
+  s_instances : int;
+  s_event_classes : int;
+  s_helper_depth : int;
+  s_helper_fanout : int;
+  s_helper_alloc_sites : int;
+  s_locals_direct : int;
+  s_locals_helper : int;
+  s_shared_locked : int;
+  s_racy : int;
+  s_priv : int;
+  s_pool : bool;
+  s_nested : bool;
+  s_wrapper : bool;
+}
+
+let default =
+  {
+    s_name = "default";
+    s_thread_classes = 2;
+    s_instances = 1;
+    s_event_classes = 1;
+    s_helper_depth = 4;
+    s_helper_fanout = 2;
+    s_helper_alloc_sites = 2;
+    s_locals_direct = 2;
+    s_locals_helper = 1;
+    s_shared_locked = 2;
+    s_racy = 2;
+    s_priv = 2;
+    s_pool = false;
+    s_nested = false;
+    s_wrapper = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let sf i = Printf.sprintf "g%d" i
+let rf i = Printf.sprintf "race%d" i
+
+(* helper chain: Hlp0 … Hlp<depth>. Constructors allocate the next level at
+   [alloc_sites] sites (k-obj pressure); work() calls the next level at
+   [fanout] sites (k-CFA pressure) and allocates helper-local Data. *)
+let helper_classes spec =
+  let d = spec.s_helper_depth in
+  let f = max 1 spec.s_helper_fanout in
+  let a = max 1 spec.s_helper_alloc_sites in
+  List.init (d + 1) (fun i ->
+      let name = Printf.sprintf "Hlp%d" i in
+      let next = Printf.sprintf "Hlp%d" (i + 1) in
+      let last = i = d in
+      let fields = if last then [] else List.init a (fun j -> Printf.sprintf "nxt%d" j) in
+      let init_body =
+        if last then [ ret None ]
+        else
+          List.concat
+            (List.init a (fun j ->
+                 let v = Printf.sprintf "n%d" j in
+                 [ new_ v next []; fwrite "this" (Printf.sprintf "nxt%d" j) v ]))
+      in
+      let locals_body =
+        List.concat
+          (List.init (max 1 spec.s_locals_helper) (fun j ->
+               let v = Printf.sprintf "loc%d" j in
+               let t = Printf.sprintf "tmp%d" j in
+               [ new_ v "Data" []; fwrite v "val" v; fread t v "val" ]))
+      in
+      let work_body =
+        if last then locals_body @ [ ret None ]
+        else
+          locals_body
+          @ List.concat
+              (List.init f (fun j ->
+                   let v = Printf.sprintf "c%d" j in
+                   [
+                     fread v "this" (Printf.sprintf "nxt%d" (j mod a));
+                     call v "work" [ "d" ];
+                   ]))
+      in
+      cls name
+        ~fields
+        [ meth "init" [] init_body; meth "work" [ "d" ] work_body ])
+
+(* body fragments shared by thread run() and handler handle() *)
+let entry_accesses spec ~writes_racy ~reads_racy =
+  let direct =
+    List.concat
+      (List.init spec.s_locals_direct (fun j ->
+           let v = Printf.sprintf "d%d" j in
+           let t = Printf.sprintf "dt%d" j in
+           [ new_ v "Data" []; fwrite v "val" v; fread t v "val" ]))
+  in
+  let locked =
+    if spec.s_shared_locked = 0 then []
+    else
+      [
+        (* each field is touched three times in the region — the repeated
+           accesses collapse under §4.1's lock-region merging *)
+        sync "lk"
+          (List.concat
+             (List.init spec.s_shared_locked (fun j ->
+                  [
+                    fwrite "sh" (sf j) "sh";
+                    fread (Printf.sprintf "lr%d" j) "sh" (sf j);
+                    fwrite "sh" (sf j) "sh";
+                  ])));
+      ]
+  in
+  let racy_w = List.map (fun j -> fwrite "sh" (rf j) "sh") writes_racy in
+  let racy_r =
+    List.map (fun j -> fread (Printf.sprintf "rr%d" j) "sh" (rf j)) reads_racy
+  in
+  direct @ locked @ racy_w @ racy_r
+
+(* distribute the racy fields over (writer, reader) origin pairs:
+   field j is written by participant (j mod n) and read by ((j+1) mod n),
+   where participants are thread classes then event classes. *)
+let race_plan spec =
+  let n = max 1 (spec.s_thread_classes + spec.s_event_classes) in
+  let writers = Array.make n [] and readers = Array.make n [] in
+  for j = 0 to spec.s_racy - 1 do
+    let w = j mod n in
+    let r = (j + 1) mod n in
+    let r = if r = w then (r + 1) mod n else r in
+    writers.(w) <- j :: writers.(w);
+    readers.(r) <- j :: readers.(r)
+  done;
+  (writers, readers)
+
+let thread_class spec ~idx ~writers ~readers =
+  let name = Printf.sprintf "Worker%d" idx in
+  (* per-class private objects reached through fields with names shared by
+     every class: distinct objects, so no race — but a syntactic detector
+     without aliasing conflates them (RacerD's main false-positive source) *)
+  let priv_init =
+    List.concat
+      (List.init spec.s_priv (fun j ->
+           let v = Printf.sprintf "pv%d" j in
+           [ new_ v "Data" []; fwrite "this" (Printf.sprintf "priv%d" j) v ]))
+  in
+  let priv_access =
+    List.concat
+      (List.init spec.s_priv (fun j ->
+           let d = Printf.sprintf "pd%d" j in
+           let t = Printf.sprintf "pt%d" j in
+           [
+             fread d "this" (Printf.sprintf "priv%d" j);
+             fwrite d "pval" d;
+             fread t d "pval";
+           ]))
+  in
+  let body =
+    [ fread "sh" "this" "shared"; fread "lk" "this" "lock";
+      fread "h" "this" "helper" ]
+    @ priv_access
+    @ entry_accesses spec ~writes_racy:writers ~reads_racy:readers
+    @ [ call "h" "work" [ "sh" ] ]
+    @ (if spec.s_nested && idx = 0 then
+         [ new_ "kid" "NestedChild" [ "sh" ]; start "kid" ]
+       else [])
+    @ [ ret None ]
+  in
+  cls name ~super:"Thread"
+    ~fields:
+      ([ "shared"; "lock"; "helper" ]
+      @ List.init spec.s_priv (fun j -> Printf.sprintf "priv%d" j))
+    [
+      meth "init" [ "s"; "l"; "h" ]
+        ([
+           fwrite "this" "shared" "s";
+           fwrite "this" "lock" "l";
+           fwrite "this" "helper" "h";
+         ]
+        @ priv_init);
+      meth "run" [] body;
+    ]
+
+let event_class spec ~idx ~writers ~readers =
+  let name = Printf.sprintf "Evt%d" idx in
+  let body =
+    [ fread "sh" "this" "shared"; fread "lk" "this" "lock" ]
+    @ entry_accesses spec ~writes_racy:writers ~reads_racy:readers
+    @ [ ret None ]
+  in
+  cls name ~super:"Handler"
+    ~fields:[ "shared"; "lock" ]
+    [
+      meth "init" [ "s"; "l" ]
+        [ fwrite "this" "shared" "s"; fwrite "this" "lock" "l" ];
+      meth "handle" [] body;
+    ]
+
+let nested_child =
+  cls "NestedChild" ~super:"Thread" ~fields:[ "shared" ]
+    [
+      meth "init" [ "s" ] [ fwrite "this" "shared" "s" ];
+      meth "run" []
+        [
+          fread "sh" "this" "shared";
+          new_ "priv" "Data" [];
+          fwrite "priv" "val" "priv";
+          ret None;
+        ];
+    ]
+
+let program spec =
+  let tw, tr = race_plan spec in
+  let part i = (tw.(i), tr.(i)) in
+  let threads =
+    List.init spec.s_thread_classes (fun i ->
+        let w, r = part i in
+        thread_class spec ~idx:i ~writers:w ~readers:r)
+  in
+  let events =
+    List.init spec.s_event_classes (fun i ->
+        let w, r = part (spec.s_thread_classes + i) in
+        event_class spec ~idx:i ~writers:w ~readers:r)
+  in
+  let helper = helper_classes spec in
+  let shared_fields =
+    List.init spec.s_shared_locked sf @ List.init spec.s_racy rf
+  in
+  let data = cls "Data" ~fields:[ "val"; "next"; "pval" ] [] in
+  let shared = cls "SharedState" ~fields:shared_fields [] in
+  let lockc = cls "Lk" ~fields:[ "held" ] [] in
+  let wrapper =
+    cls "Factory"
+      [
+        meth ~static:true "spawn" [ "s"; "l"; "h" ]
+          [ new_ "t" "Worker0" [ "s"; "l"; "h" ]; start "t"; ret None ];
+      ]
+  in
+  let main_body =
+    [
+      new_ "s" "SharedState" [];
+      new_ "l" "Lk" [];
+      new_ "h" "Hlp0" [];
+    ]
+    @ List.concat
+        (List.init spec.s_thread_classes (fun i ->
+             let cname = Printf.sprintf "Worker%d" i in
+             if spec.s_wrapper && i = 0 then
+               [
+                 scall "Factory" "spawn" [ "s"; "l"; "h" ];
+                 scall "Factory" "spawn" [ "s"; "l"; "h" ];
+               ]
+             else if spec.s_pool then
+               [
+                 while_
+                   [
+                     new_ (Printf.sprintf "t%d" i) cname [ "s"; "l"; "h" ];
+                     start (Printf.sprintf "t%d" i);
+                   ];
+               ]
+             else
+               List.concat
+                 (List.init spec.s_instances (fun j ->
+                      let v = Printf.sprintf "t%d_%d" i j in
+                      [ new_ v cname [ "s"; "l"; "h" ]; start v ]))))
+    @ List.concat
+        (List.init spec.s_event_classes (fun i ->
+             let v = Printf.sprintf "e%d" i in
+             [
+               new_ v (Printf.sprintf "Evt%d" i) [ "s"; "l" ];
+               post v [];
+               post v [];
+             ]))
+    @ [ ret None ]
+  in
+  let mainc = cls "Main" [ meth ~static:true "main" [] main_body ] in
+  prog ~main:"Main"
+    ([ data; shared; lockc; nested_child ]
+    @ helper @ threads @ events
+    @ (if spec.s_wrapper then [ wrapper ] else [])
+    @ [ mainc ])
+
+(* ------------------------------------------------------------------ *)
+(* named suites *)
+
+let mk name ?(tc = 2) ?(inst = 1) ?(ev = 1) ?(depth = 4) ?(fan = 2) ?(allo = 2)
+    ?(ld = 2) ?(lh = 1) ?(locked = 2) ?(racy = 2) ?priv ?(pool = false)
+    ?(nested = false) ?(wrapper = false) () =
+  let priv = match priv with Some p -> p | None -> ld in
+  {
+    s_name = name;
+    s_thread_classes = tc;
+    s_instances = inst;
+    s_event_classes = ev;
+    s_helper_depth = depth;
+    s_helper_fanout = fan;
+    s_helper_alloc_sites = allo;
+    s_locals_direct = ld;
+    s_locals_helper = lh;
+    s_shared_locked = locked;
+    s_racy = racy;
+    s_priv = priv;
+    s_pool = pool;
+    s_nested = nested;
+    s_wrapper = wrapper;
+  }
+
+(* Dacapo-shaped: few origins (#O 3–9), deep library call chains, lots of
+   local data that 0-ctx conflates (large Table 8 spread). *)
+let dacapo =
+  [
+    mk "avrora" ~tc:2 ~inst:2 ~ev:0 ~depth:6 ~fan:3 ~allo:3 ~ld:18 ~lh:2
+      ~locked:4 ~racy:3 ();
+    mk "batik" ~tc:2 ~inst:2 ~ev:0 ~depth:7 ~fan:4 ~allo:4 ~ld:10 ~lh:2
+      ~locked:3 ~racy:2 ();
+    mk "eclipse" ~tc:2 ~inst:2 ~ev:0 ~depth:5 ~fan:2 ~allo:2 ~ld:8 ~lh:1
+      ~locked:4 ~racy:1 ();
+    mk "h2" ~tc:3 ~inst:1 ~ev:0 ~depth:8 ~fan:4 ~allo:4 ~ld:24 ~lh:3 ~locked:6
+      ~racy:6 ~pool:true ();
+    mk "jython" ~tc:2 ~inst:2 ~ev:0 ~depth:9 ~fan:4 ~allo:4 ~ld:30 ~lh:3
+      ~locked:4 ~racy:8 ();
+    mk "luindex" ~tc:3 ~inst:1 ~ev:0 ~depth:6 ~fan:3 ~allo:3 ~ld:16 ~lh:2
+      ~locked:3 ~racy:4 ();
+    mk "lusearch" ~tc:3 ~inst:1 ~ev:0 ~depth:4 ~fan:2 ~allo:2 ~ld:10 ~lh:1
+      ~locked:2 ~racy:3 ();
+    mk "pmd" ~tc:3 ~inst:1 ~ev:0 ~depth:4 ~fan:2 ~allo:2 ~ld:6 ~lh:1 ~locked:2
+      ~racy:2 ();
+    mk "sunflow" ~tc:3 ~inst:3 ~ev:0 ~depth:5 ~fan:3 ~allo:3 ~ld:20 ~lh:2
+      ~locked:3 ~racy:5 ~pool:true ();
+    mk "tomcat" ~tc:3 ~inst:2 ~ev:3 ~depth:5 ~fan:3 ~allo:4 ~ld:8 ~lh:1
+      ~locked:4 ~racy:3 ~wrapper:true ();
+    mk "tradebeans" ~tc:3 ~inst:1 ~ev:0 ~depth:4 ~fan:2 ~allo:2 ~ld:5 ~lh:1
+      ~locked:3 ~racy:2 ();
+    mk "tradesoap" ~tc:3 ~inst:1 ~ev:0 ~depth:4 ~fan:2 ~allo:2 ~ld:5 ~lh:1
+      ~locked:3 ~racy:2 ();
+    mk "xalan" ~tc:3 ~inst:1 ~ev:0 ~depth:6 ~fan:4 ~allo:3 ~ld:2 ~lh:1
+      ~locked:4 ~racy:1 ();
+  ]
+
+(* Android-shaped: event-heavy, many origins, short handlers. *)
+let android =
+  [
+    mk "connectbot" ~tc:3 ~inst:1 ~ev:8 ~depth:4 ~fan:3 ~allo:3 ~ld:6 ~lh:1
+      ~locked:2 ~racy:2 ();
+    mk "sipdroid" ~tc:4 ~inst:1 ~ev:11 ~depth:5 ~fan:3 ~allo:3 ~ld:8 ~lh:1
+      ~locked:2 ~racy:3 ();
+    mk "k9mail" ~tc:5 ~inst:2 ~ev:18 ~depth:5 ~fan:3 ~allo:3 ~ld:8 ~lh:1
+      ~locked:3 ~racy:3 ();
+    mk "tasks" ~tc:2 ~inst:1 ~ev:5 ~depth:5 ~fan:4 ~allo:4 ~ld:5 ~lh:1
+      ~locked:2 ~racy:2 ();
+    mk "fbreader" ~tc:4 ~inst:1 ~ev:11 ~depth:5 ~fan:3 ~allo:4 ~ld:6 ~lh:1
+      ~locked:2 ~racy:2 ();
+    mk "vlc" ~tc:2 ~inst:1 ~ev:2 ~depth:7 ~fan:4 ~allo:4 ~ld:6 ~lh:2 ~locked:2
+      ~racy:2 ();
+    mk "firefox_focus" ~tc:3 ~inst:1 ~ev:5 ~depth:5 ~fan:4 ~allo:4 ~ld:5 ~lh:1
+      ~locked:2 ~racy:2 ();
+    mk "telegram" ~tc:10 ~inst:4 ~ev:100 ~depth:5 ~fan:3 ~allo:3 ~ld:6 ~lh:1
+      ~locked:4 ~racy:6 ~pool:true ();
+    mk "zoom" ~tc:5 ~inst:1 ~ev:10 ~depth:6 ~fan:4 ~allo:4 ~ld:8 ~lh:1
+      ~locked:3 ~racy:3 ();
+    mk "chrome" ~tc:8 ~inst:2 ~ev:20 ~depth:6 ~fan:4 ~allo:4 ~ld:6 ~lh:1
+      ~locked:4 ~racy:3 ~nested:true ();
+  ]
+
+(* Distributed-system-shaped: many threads and events, big shared state. *)
+let distributed =
+  [
+    mk "hbase" ~tc:8 ~inst:2 ~ev:8 ~depth:8 ~fan:4 ~allo:4 ~ld:30 ~lh:3
+      ~locked:10 ~racy:12 ~pool:true ~nested:true ();
+    mk "hdfs" ~tc:6 ~inst:2 ~ev:6 ~depth:8 ~fan:4 ~allo:4 ~ld:34 ~lh:3
+      ~locked:10 ~racy:14 ~pool:true ();
+    mk "yarn" ~tc:7 ~inst:2 ~ev:7 ~depth:9 ~fan:4 ~allo:4 ~ld:38 ~lh:3
+      ~locked:12 ~racy:16 ~pool:true ~nested:true ();
+    mk "zookeeper" ~tc:12 ~inst:2 ~ev:28 ~depth:6 ~fan:3 ~allo:3 ~ld:22 ~lh:2
+      ~locked:8 ~racy:10 ~pool:true ();
+  ]
+
+(* C-application-shaped (Table 6): memcached small event+thread mix, redis
+   with nested spawning, sqlite3 large and nearly single-origin. *)
+let capps =
+  [
+    mk "memcached" ~tc:4 ~inst:2 ~ev:4 ~depth:5 ~fan:3 ~allo:3 ~ld:10 ~lh:1
+      ~locked:4 ~racy:3 ();
+    mk "redis" ~tc:5 ~inst:2 ~ev:5 ~depth:8 ~fan:4 ~allo:4 ~ld:16 ~lh:2
+      ~locked:6 ~racy:5 ~nested:true ();
+    mk "sqlite3" ~tc:1 ~inst:2 ~ev:0 ~depth:12 ~fan:5 ~allo:5 ~ld:40 ~lh:4
+      ~locked:8 ~racy:2 ();
+  ]
+
+let all_specs = dacapo @ android @ distributed @ capps
+
+let find name =
+  match List.find_opt (fun s -> s.s_name = name) all_specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let scaling ~n =
+  program
+    (mk (Printf.sprintf "scale%d" n) ~tc:2 ~inst:1 ~ev:1
+       ~depth:(max 1 n) ~fan:2 ~allo:2 ~ld:4 ~lh:2 ~locked:2 ~racy:2 ())

@@ -1,0 +1,74 @@
+(** Parameterised synthetic workload generators for the evaluation tables.
+
+    We cannot ship Tomcat or the Linux kernel; what Tables 5–9 measure is
+    how each context abstraction scales and filters on particular code
+    {e shapes}. The generator reproduces those shapes with explicit knobs:
+
+    - {b deep helper chains with call fan-out} ([helper_depth] ×
+      [helper_fanout] call sites per level, [helper_alloc_sites] receiver
+      allocation sites per level): the k-CFA context count grows as
+      fanout{^ k} per level and the k-obj count as alloc_sites{^ k},
+      while 0-ctx visits each method once and OPA once per origin — the
+      Table 5/6 performance story;
+    - {b helper-allocated thread-local data}: merged across origins by
+      every policy except OPA (the Figure 2 pattern) — false races for
+      0-ctx/k-CFA/k-obj, none for O2;
+    - {b direct-in-entry local data}: false races only under 0-ctx;
+    - {b thread pools} ([pool = true] starts instances in a loop): OPA's
+      loop doubling keeps per-origin locals separate, every other policy
+      sees one self-parallel abstract thread — more Table 8 spread;
+    - {b seeded true races} ([racy]): one pair of conflicting sites each,
+      reported by every policy (and each pair deliberately spans a
+      thread–event or thread–thread combination);
+    - {b correctly locked shared state} ([shared_locked]): never racy;
+    - {b wrapper-created threads} and {b nested spawns} for the §3.2
+      extensions. *)
+
+type spec = {
+  s_name : string;
+  s_thread_classes : int;  (** distinct thread classes *)
+  s_instances : int;  (** instances per thread class (≥1) *)
+  s_event_classes : int;  (** handler classes, one post each + one repost *)
+  s_helper_depth : int;
+  s_helper_fanout : int;
+  s_helper_alloc_sites : int;
+  s_locals_direct : int;  (** direct local Data per entry body *)
+  s_locals_helper : int;  (** helper-local Data allocations per level *)
+  s_shared_locked : int;  (** correctly-locked shared fields *)
+  s_racy : int;  (** seeded true races *)
+  s_priv : int;
+      (** per-thread-class private objects reached through identically-named
+          fields — never racy, but conflated by syntactic detectors (the
+          RacerD false-positive pattern) *)
+  s_pool : bool;  (** start thread instances in a loop *)
+  s_nested : bool;  (** first thread class spawns a child thread *)
+  s_wrapper : bool;  (** threads created through a shared wrapper *)
+}
+
+val default : spec
+
+(** [program spec] builds the synthetic program (deterministic). *)
+val program : spec -> O2_ir.Program.t
+
+(** Named suites mirroring the paper's benchmark sets. Sizes are tuned so
+    the relative behaviour across policies matches the published tables'
+    shape; EXPERIMENTS.md records measured vs published. *)
+
+val dacapo : spec list
+(** Avrora … Xalan (Table 5/7/8). *)
+
+val android : spec list
+(** ConnectBot … Chrome (Table 5): more events, many origins. *)
+
+val distributed : spec list
+(** HBase, HDFS, Yarn, ZooKeeper (Tables 5/9). *)
+
+val capps : spec list
+(** Memcached, Redis, Sqlite3-shaped C programs (Table 6). *)
+
+val find : string -> spec
+
+(** [scaling ~n] builds a program whose statement count grows linearly in
+    [n] (helper-chain depth scaled), for the Table 3 empirical complexity
+    curves. *)
+val scaling : n:int -> O2_ir.Program.t

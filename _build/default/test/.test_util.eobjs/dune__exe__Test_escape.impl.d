@@ -1,0 +1,1 @@
+test/test_escape.ml: Access Alcotest Context List O2_escape O2_ir O2_osa O2_pta O2_test_helpers Pag QCheck2 QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Access Alcotest Context List O2_frontend O2_ir O2_pta O2_race O2_runtime

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Filename Lexer Lexing List O2_frontend O2_ir O2_workloads Parser Printf Sys Token

@@ -1,0 +1,1 @@
+test/test_integration.ml: Access Alcotest Context Format List O2 O2_frontend O2_ir O2_pta O2_race O2_runtime O2_shb O2_test_helpers O2_workloads Printf QCheck2 QCheck_alcotest Solver String

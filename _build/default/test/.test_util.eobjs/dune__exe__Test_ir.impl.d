@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast List O2_frontend O2_ir O2_test_helpers O2_workloads Pp Program QCheck2 QCheck_alcotest String Wellformed

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Context List O2_frontend O2_ir O2_pta O2_race O2_runtime O2_workloads Pag Query Solver String

@@ -1,0 +1,1 @@
+test/test_osa.ml: Access Alcotest Array Context Format List O2_ir O2_osa O2_pta O2_workloads Pag Solver String

@@ -1,0 +1,1 @@
+test/test_pta.ml: Alcotest Array Context List O2_ir O2_pta O2_test_helpers O2_util O2_workloads Pag Program QCheck2 QCheck_alcotest Solver

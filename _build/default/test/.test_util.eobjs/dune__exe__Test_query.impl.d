@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Context Format List O2_ir O2_pta O2_shb O2_workloads Query Solver String

@@ -1,0 +1,1 @@
+test/test_race.ml: Access Alcotest Context List O2_ir O2_osa O2_pta O2_race O2_runtime O2_shb O2_test_helpers O2_workloads Pag Printf QCheck2 QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_racerd.ml: Alcotest List O2_ir O2_race O2_racerd O2_workloads Racerd

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Dynrace Explore Interp List O2_ir O2_runtime O2_workloads Vclock

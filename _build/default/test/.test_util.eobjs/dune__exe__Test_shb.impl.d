@@ -1,0 +1,1 @@
+test/test_shb.ml: Access Alcotest Array Context Graph List Lockset O2_ir O2_pta O2_shb QCheck2 QCheck_alcotest Solver

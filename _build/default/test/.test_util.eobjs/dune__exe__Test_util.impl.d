@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitset Hashtbl Idgen Intern List O2_util QCheck2 QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/helpers/gen.ml: Format List O2_ir Printf QCheck2

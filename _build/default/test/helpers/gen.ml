@@ -1,0 +1,184 @@
+(* QCheck generators of small well-formed CIR programs, used by the
+   property tests: random thread/event classes whose entry bodies mix
+   shared-state accesses (locked and unlocked), thread-local allocations,
+   loops, helper calls and semaphore waits; main may start threads in
+   loops (pools), join them, post events with arguments and signal the
+   semaphore. Every generated program resolves and lints clean by
+   construction, and every loop the interpreter executes is bounded by its
+   choice-driven continuation, so programs terminate under exploration. *)
+
+open O2_ir.Builder
+
+type op =
+  | OSharedWrite of int  (* field index *)
+  | OSharedRead of int
+  | OLockedWrite of int
+  | OLocalData  (* new + write + read on a local object *)
+  | OLoopLocal  (* the same, but inside a while loop *)
+  | OArray  (* array write on the shared object *)
+  | OStaticAcc of bool  (* write? on a global static *)
+  | OHelperCall
+  | OSemWait  (* wait on the global semaphore *)
+  | ONestedSpawn  (* start a nested child thread on the shared object *)
+
+let n_fields = 3
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, map (fun i -> OSharedWrite (abs i mod n_fields)) small_int);
+        (3, map (fun i -> OSharedRead (abs i mod n_fields)) small_int);
+        (3, map (fun i -> OLockedWrite (abs i mod n_fields)) small_int);
+        (2, return OLocalData);
+        (1, return OLoopLocal);
+        (1, return OArray);
+        (2, map (fun b -> OStaticAcc b) bool);
+        (2, return OHelperCall);
+        (1, return OSemWait);
+        (1, return ONestedSpawn);
+      ])
+
+type spec = {
+  g_threads : (op list * bool * bool) list;
+      (* body ops, joined?, pooled (started in a loop)? *)
+  g_events : op list list;
+  g_signal : bool;  (* main signals the semaphore after its writes *)
+  g_seed : int;
+}
+
+let spec_gen =
+  QCheck2.Gen.(
+    let body = list_size (int_range 1 6) op_gen in
+    let* threads = list_size (int_range 1 3) (triple body bool bool) in
+    let* events = list_size (int_range 0 2) body in
+    let* signal_ = bool in
+    let* seed = small_int in
+    return { g_threads = threads; g_events = events; g_signal = signal_; g_seed = seed })
+
+let field i = Printf.sprintf "f%d" i
+
+let stmts_of_op idx i op =
+  let v suffix = Printf.sprintf "v%d_%d_%s" idx i suffix in
+  match op with
+  | OSharedWrite f -> [ fwrite "sh" (field f) "sh" ]
+  | OSharedRead f -> [ fread (v "r") "sh" (field f) ]
+  | OLockedWrite f -> [ sync "lk" [ fwrite "sh" (field f) "sh" ] ]
+  | OLocalData ->
+      [ new_ (v "d") "GData" []; fwrite (v "d") "f0" "sh"; fread (v "t") (v "d") "f0" ]
+  | OLoopLocal ->
+      [
+        while_
+          [ new_ (v "ld") "GData" []; fwrite (v "ld") "f1" "sh" ];
+      ]
+  | OArray -> [ fread (v "a") "sh" "arr"; awrite (v "a") "sh" ]
+  | OStaticAcc true -> [ swrite "Globals" "g" "sh" ]
+  | OStaticAcc false -> [ sread (v "s") "Globals" "g" ]
+  | OHelperCall -> [ call "hl" "touch" [ "sh" ] ]
+  | OSemWait -> [ wait "sem" ]
+  | ONestedSpawn -> [ new_ (v "k") "GNested" [ "sh" ]; start (v "k") ]
+
+let entry_body idx ops =
+  [ fread "sh" "this" "shared"; fread "lk" "this" "lock";
+    fread "hl" "this" "helper"; fread "sem" "this" "sem" ]
+  @ List.concat (List.mapi (fun i op -> stmts_of_op idx i op) ops)
+  @ [ ret None ]
+
+let concurrency_fields = [ "shared"; "lock"; "helper"; "sem" ]
+
+let init_body =
+  [
+    fwrite "this" "shared" "s";
+    fwrite "this" "lock" "l";
+    fwrite "this" "helper" "h";
+    fwrite "this" "sem" "q";
+  ]
+
+let program_of_spec spec =
+  let data = cls "GData" ~fields:[ "f0"; "f1"; "f2"; "arr" ] [] in
+  let globals = cls "Globals" ~sfields:[ "g" ] [] in
+  let helper =
+    cls "GHelper"
+      [
+        meth "touch" [ "d" ]
+          [ fwrite "d" "f1" "d"; fread "x" "d" "f1"; ret None ];
+      ]
+  in
+  let nested =
+    cls "GNested" ~super:"Thread" ~fields:[ "shared" ]
+      [
+        meth "init" [ "s" ] [ fwrite "this" "shared" "s" ];
+        meth "run" []
+          [
+            fread "sh" "this" "shared";
+            fwrite "sh" "f2" "sh";
+            new_ "own" "GData" [];
+            fwrite "own" "f0" "own";
+            ret None;
+          ];
+      ]
+  in
+  let params = [ "s"; "l"; "h"; "q" ] in
+  let threads =
+    List.mapi
+      (fun idx (ops, _joined, _pooled) ->
+        cls
+          (Printf.sprintf "GT%d" idx)
+          ~super:"Thread" ~fields:concurrency_fields
+          [ meth "init" params init_body; meth "run" [] (entry_body idx ops) ])
+      spec.g_threads
+  in
+  let events =
+    List.mapi
+      (fun idx ops ->
+        cls
+          (Printf.sprintf "GE%d" idx)
+          ~super:"Handler" ~fields:concurrency_fields
+          [
+            meth "init" params init_body;
+            meth "handle" [ "msg" ] (entry_body (100 + idx) ops);
+          ])
+      spec.g_events
+  in
+  let main_body =
+    [
+      new_ "s" "GData" [];
+      new_ "a" "GData" [];
+      fwrite "s" "arr" "a";
+      new_ "l" "GData" [];
+      new_ "h" "GHelper" [];
+      new_ "q" "GData" [];
+    ]
+    @ List.concat
+        (List.mapi
+           (fun idx (_, joined, pooled) ->
+             let v = Printf.sprintf "t%d" idx in
+             let mk_and_start =
+               [ new_ v (Printf.sprintf "GT%d" idx) [ "s"; "l"; "h"; "q" ];
+                 start v ]
+             in
+             if pooled then [ while_ mk_and_start ]
+             else mk_and_start @ if joined then [ join v ] else [])
+           spec.g_threads)
+    @ List.concat
+        (List.mapi
+           (fun idx _ ->
+             let v = Printf.sprintf "e%d" idx in
+             [
+               new_ v (Printf.sprintf "GE%d" idx) [ "s"; "l"; "h"; "q" ];
+               post v [ "a" ];
+             ])
+           spec.g_events)
+    @ (if spec.g_signal then [ fwrite "s" "f2" "s"; signal "q" ]
+       else [ signal "q" ])
+    @ [ ret None ]
+  in
+  let mainc = cls "GMain" [ meth ~static:true "main" [] main_body ] in
+  prog ~main:"GMain"
+    ([ data; globals; helper; nested ] @ threads @ events @ [ mainc ])
+
+let program_gen = QCheck2.Gen.map program_of_spec spec_gen
+
+(* printers for failure reporting *)
+let print_spec spec =
+  Format.asprintf "%a" O2_ir.Pp.pp_program (program_of_spec spec)

@@ -1,0 +1,124 @@
+open O2_ir.Builder
+open O2_pta
+
+let check_bool = Alcotest.(check bool)
+
+let run ?(policy = Context.Korigin 1) p =
+  let a = Solver.analyze ~policy p in
+  (a, O2_escape.Escape.run a)
+
+let classes_of a oids =
+  List.map
+    (fun oid -> (Pag.obj (Solver.pag a) oid).Pag.ob_class)
+    oids
+  |> List.sort_uniq compare
+
+(* a Data object stored in a thread field escapes; a purely local one
+   does not *)
+let test_thread_field_escapes () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "Local" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" []
+              [ new_ "l" "Local" []; fwrite "l" "v" "l"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ new_ "d" "Data" []; new_ "w" "W" [ "d" ]; start "w" ];
+          ];
+      ]
+  in
+  let a, esc = run p in
+  let escaped = classes_of a (O2_escape.Escape.escaped_objects esc) in
+  check_bool "Data escapes" true (List.mem "Data" escaped);
+  check_bool "thread object escapes" true (List.mem "W" escaped);
+  check_bool "Local stays" false (List.mem "Local" escaped)
+
+let test_static_escapes_transitively () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "G" ~sfields:[ "root" ] [];
+        cls "Data" ~fields:[ "next" ] [];
+        cls "Inner" [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "i" "Inner" [];
+                fwrite "d" "next" "i";
+                swrite "G" "root" "d";
+              ];
+          ];
+      ]
+  in
+  let a, esc = run p in
+  let escaped = classes_of a (O2_escape.Escape.escaped_objects esc) in
+  check_bool "root escapes" true (List.mem "Data" escaped);
+  check_bool "reachable-from-root escapes" true (List.mem "Inner" escaped)
+
+(* §3.3's precision point: a static used by one origin only is "escaped"
+   for escape analysis but NOT origin-shared for OSA *)
+let test_osa_beats_escape_on_single_origin_static () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "G" ~sfields:[ "s" ] [];
+        cls "Data" [];
+        cls "W" ~super:"Thread"
+          [ meth "run" [] [ new_ "l" "Data" []; ret None ] ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                swrite "G" "s" "d";
+                sread "r" "G" "s";
+                new_ "w" "W" [];
+                start "w";
+              ];
+          ];
+      ]
+  in
+  let a, esc = run p in
+  let osa = O2_osa.Osa.run a in
+  check_bool "escape: accesses counted shared" true
+    (O2_escape.Escape.n_escaped_accesses esc > 0);
+  check_bool "OSA: not origin-shared" false
+    (O2_osa.Osa.is_shared_target osa (Access.Tstatic ("G", "s")));
+  check_bool "escape count > OSA count" true
+    (O2_escape.Escape.n_escaped_accesses esc > O2_osa.Osa.n_shared_accesses osa)
+
+(* OSA shared ⊆ escape shared: escape analysis over-approximates OSA *)
+let prop_osa_subset_escape =
+  QCheck2.Test.make ~name:"OSA shared accesses ≤ escaped accesses" ~count:60
+    ~print:O2_test_helpers.Gen.print_spec O2_test_helpers.Gen.spec_gen
+    (fun spec ->
+      let p = O2_test_helpers.Gen.program_of_spec spec in
+      let a = Solver.analyze ~policy:(Context.Korigin 1) p in
+      let esc = O2_escape.Escape.run a in
+      let osa = O2_osa.Osa.run a in
+      O2_osa.Osa.n_shared_accesses osa
+      <= O2_escape.Escape.n_escaped_accesses esc)
+
+let () =
+  Alcotest.run "escape"
+    [
+      ( "escape",
+        [
+          Alcotest.test_case "thread fields escape" `Quick
+            test_thread_field_escapes;
+          Alcotest.test_case "statics transitive" `Quick
+            test_static_escapes_transitively;
+          Alcotest.test_case "OSA more precise (§3.3)" `Quick
+            test_osa_beats_escape_on_single_origin_static;
+          QCheck_alcotest.to_alcotest prop_osa_subset_escape;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+open O2_ir
+open O2_ir.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let tiny () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "W" ~super:"Thread" ~fields:[ "d" ]
+        [
+          meth "init" [ "d" ] [ fwrite "this" "d" "d" ];
+          meth "run" []
+            [ fread "d" "this" "d"; fwrite "d" "v" "d"; ret None ];
+        ];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [ new_ "d" "Data" []; new_ "w" "W" [ "d" ]; start "w"; join "w" ];
+        ];
+    ]
+
+(* ---------------- resolution ---------------- *)
+
+let test_resolve_basic () =
+  let p = tiny () in
+  check_bool "has W" true (Program.find_class p "W" <> None);
+  check_bool "no Z" true (Program.find_class p "Z" = None);
+  let main = Program.main p in
+  check_str "main class" "M" main.Program.m_class;
+  check_bool "main static" true main.Program.m_static
+
+let test_kinds () =
+  let p = tiny () in
+  (match Program.kind_of p "W" with
+  | Program.Kthread e -> check_str "entry" "run" e
+  | _ -> Alcotest.fail "W should be a thread");
+  (match Program.kind_of p "Data" with
+  | Program.Kplain -> ()
+  | _ -> Alcotest.fail "Data should be plain");
+  check_bool "entry method" true (Program.entry_method p "W" <> None);
+  check_bool "no entry for plain" true (Program.entry_method p "Data" = None)
+
+let test_kind_inheritance () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Base" ~super:"Thread" [ meth "run" [] [ ret None ] ];
+        cls "Derived" ~super:"Base" [];
+        cls "H" ~super:"EventHandler" [ meth "handleEvent" [] [ ret None ] ];
+        cls "M" [ meth ~static:true "main" [] [ ret None ] ];
+      ]
+  in
+  (match Program.kind_of p "Derived" with
+  | Program.Kthread "run" -> ()
+  | _ -> Alcotest.fail "Derived inherits thread kind");
+  (match Program.kind_of p "H" with
+  | Program.Khandler "handleEvent" -> ()
+  | _ -> Alcotest.fail "H is an EventHandler");
+  (* Derived's entry dispatches to Base.run *)
+  match Program.entry_method p "Derived" with
+  | Some m -> check_str "dispatched to Base" "Base" m.Program.m_class
+  | None -> Alcotest.fail "entry method missing"
+
+let test_dispatch_override () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "A" [ meth "f" [] [ ret None ]; meth "g" [] [ ret None ] ];
+        cls "B" ~super:"A" [ meth "f" [] [ ret None ] ];
+        cls "M" [ meth ~static:true "main" [] [ ret None ] ];
+      ]
+  in
+  (match Program.dispatch p "B" "f" with
+  | Some m -> check_str "override wins" "B" m.Program.m_class
+  | None -> Alcotest.fail "dispatch f");
+  (match Program.dispatch p "B" "g" with
+  | Some m -> check_str "inherited" "A" m.Program.m_class
+  | None -> Alcotest.fail "dispatch g");
+  check_bool "missing method" true (Program.dispatch p "B" "nope" = None);
+  check_bool "static not virtual" true
+    (Program.static_method p "B" "f" = None)
+
+let test_subclass_of () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "A" [];
+        cls "B" ~super:"A" [];
+        cls "C" ~super:"B" [];
+        cls "M" [ meth ~static:true "main" [] [ ret None ] ];
+      ]
+  in
+  check_bool "C<:A" true (Program.subclass_of p "C" "A");
+  check_bool "A not <:C" false (Program.subclass_of p "A" "C");
+  check_bool "refl" true (Program.subclass_of p "B" "B")
+
+let test_inherited_fields () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "A" ~fields:[ "x" ] [];
+        cls "B" ~super:"A" ~fields:[ "y" ] [];
+        cls "M" [ meth ~static:true "main" [] [ ret None ] ];
+      ]
+  in
+  match Program.find_class p "B" with
+  | Some b -> Alcotest.(check (list string)) "fields" [ "x"; "y" ] b.Program.c_fields
+  | None -> Alcotest.fail "no B"
+
+let test_sid_unique_and_indexed () =
+  let p = tiny () in
+  let n = Program.n_stmts p in
+  check_bool "nonzero" true (n > 0);
+  for sid = 0 to n - 1 do
+    let s, _m = Program.stmt p sid in
+    check_int "sid round-trips" sid s.Ast.sid
+  done
+
+let test_in_loop () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "a" "M" [];
+                while_ [ new_ "b" "M" []; if_ [ new_ "c" "M" [] ] [] ];
+                new_ "d" "M" [];
+              ];
+          ];
+      ]
+  in
+  let find_alloc v =
+    let found = ref (-1) in
+    for sid = 0 to Program.n_stmts p - 1 do
+      match Program.stmt p sid with
+      | { Ast.sk = Ast.New (x, _, _); _ }, _ when x = v -> found := sid
+      | _ -> ()
+    done;
+    !found
+  in
+  check_bool "a outside" false (Program.stmt_in_loop p (find_alloc "a"));
+  check_bool "b inside" true (Program.stmt_in_loop p (find_alloc "b"));
+  check_bool "c nested inside" true (Program.stmt_in_loop p (find_alloc "c"));
+  check_bool "d after" false (Program.stmt_in_loop p (find_alloc "d"))
+
+(* ---------------- ill-formedness ---------------- *)
+
+let expect_ill f =
+  match f () with
+  | exception Program.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "expected Ill_formed"
+
+let test_duplicate_class () =
+  expect_ill (fun () ->
+      prog ~main:"M" [ cls "A" []; cls "A" []; cls "M" [ meth ~static:true "main" [] [] ] ])
+
+let test_unknown_super () =
+  expect_ill (fun () ->
+      prog ~main:"M"
+        [ cls "A" ~super:"Ghost" []; cls "M" [ meth ~static:true "main" [] [] ] ])
+
+let test_cycle () =
+  expect_ill (fun () ->
+      prog ~main:"M"
+        [
+          cls "A" ~super:"B" [];
+          cls "B" ~super:"A" [];
+          cls "M" [ meth ~static:true "main" [] [] ];
+        ])
+
+let test_missing_main () =
+  expect_ill (fun () -> prog ~main:"M" [ cls "M" [] ]);
+  expect_ill (fun () ->
+      (* non-static main *)
+      prog ~main:"M" [ cls "M" [ meth "main" [] [] ] ])
+
+let test_shadow_builtin () =
+  expect_ill (fun () ->
+      prog ~main:"M" [ cls "Thread" []; cls "M" [ meth ~static:true "main" [] [] ] ])
+
+(* ---------------- wellformed lint ---------------- *)
+
+let test_lint_clean () =
+  Alcotest.(check int) "no issues" 0 (List.length (Wellformed.check (tiny ())))
+
+let test_lint_unknown_var () =
+  let p =
+    prog ~main:"M"
+      [ cls "M" [ meth ~static:true "main" [] [ assign "x" "ghost" ] ] ]
+  in
+  check_bool "flags ghost" true
+    (List.exists
+       (fun (i : Wellformed.issue) ->
+         String.length i.msg > 0 && String.sub i.msg 0 8 = "variable")
+       (Wellformed.check p))
+
+let test_lint_unknown_class_and_sfield () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "G" ~sfields:[ "s" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ new_ "x" "Nope" []; swrite "G" "missing" "x" ];
+          ];
+      ]
+  in
+  let issues = Wellformed.check p in
+  check_bool "unknown class" true
+    (List.exists (fun (i : Wellformed.issue) -> i.msg = "unknown class Nope") issues);
+  check_bool "missing static field" true
+    (List.exists
+       (fun (i : Wellformed.issue) ->
+         i.msg = "class G has no static field missing")
+       issues)
+
+let test_lint_exn () =
+  let p =
+    prog ~main:"M"
+      [ cls "M" [ meth ~static:true "main" [] [ assign "x" "ghost" ] ] ]
+  in
+  match Wellformed.check_exn p with
+  | exception Program.Ill_formed _ -> ()
+  | () -> Alcotest.fail "expected Ill_formed"
+
+(* ---------------- builder ---------------- *)
+
+let test_builder_locals_inferred () =
+  let md =
+    meth "m" [ "p" ]
+      [ new_ "a" "Data" []; assign "b" "a"; assign "p" "a"; fwrite "this" "f" "a" ]
+  in
+  Alcotest.(check (list string)) "locals" [ "a"; "b" ] md.Ast.md_locals
+
+let test_defined_vars_nested () =
+  let body =
+    [
+      if_ [ new_ "x" "C" [] ] [ assign "y" "x" ];
+      while_ [ sync "l" [ fread "z" "x" "f" ] ];
+    ]
+  in
+  Alcotest.(check (list string)) "defined" [ "x"; "y"; "z" ]
+    (Ast.defined_vars body)
+
+(* ---------------- pretty-printing round trip ---------------- *)
+
+let test_pp_roundtrip () =
+  let p = tiny () in
+  let src = Pp.program_to_string p in
+  let p2 = O2_frontend.Parser.parse_string src in
+  let src2 = Pp.program_to_string p2 in
+  check_str "fixpoint" src src2;
+  check_int "same statements" (Program.n_stmts p) (Program.n_stmts p2)
+
+let test_pp_roundtrip_figures () =
+  List.iter
+    (fun p ->
+      let src = Pp.program_to_string p in
+      let p2 = O2_frontend.Parser.parse_string src in
+      check_str "fixpoint" src (Pp.program_to_string p2))
+    [ O2_workloads.Figures.figure2 (); O2_workloads.Figures.figure3 () ]
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"pp/parse round-trip on random programs" ~count:100
+    ~print:O2_test_helpers.Gen.print_spec O2_test_helpers.Gen.spec_gen
+    (fun spec ->
+      let p = O2_test_helpers.Gen.program_of_spec spec in
+      let src = Pp.program_to_string p in
+      let p2 = O2_frontend.Parser.parse_string src in
+      Pp.program_to_string p2 = src)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "resolution",
+        [
+          Alcotest.test_case "basic" `Quick test_resolve_basic;
+          Alcotest.test_case "kinds" `Quick test_kinds;
+          Alcotest.test_case "kind inheritance" `Quick test_kind_inheritance;
+          Alcotest.test_case "dispatch" `Quick test_dispatch_override;
+          Alcotest.test_case "subclass_of" `Quick test_subclass_of;
+          Alcotest.test_case "inherited fields" `Quick test_inherited_fields;
+          Alcotest.test_case "sids" `Quick test_sid_unique_and_indexed;
+          Alcotest.test_case "loop flags" `Quick test_in_loop;
+        ] );
+      ( "ill-formed",
+        [
+          Alcotest.test_case "duplicate class" `Quick test_duplicate_class;
+          Alcotest.test_case "unknown super" `Quick test_unknown_super;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "missing main" `Quick test_missing_main;
+          Alcotest.test_case "shadow builtin" `Quick test_shadow_builtin;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean" `Quick test_lint_clean;
+          Alcotest.test_case "unknown var" `Quick test_lint_unknown_var;
+          Alcotest.test_case "unknown class/sfield" `Quick
+            test_lint_unknown_class_and_sfield;
+          Alcotest.test_case "check_exn" `Quick test_lint_exn;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "locals inferred" `Quick
+            test_builder_locals_inferred;
+          Alcotest.test_case "defined_vars nested" `Quick
+            test_defined_vars_nested;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "round trip" `Quick test_pp_roundtrip;
+          Alcotest.test_case "figures round trip" `Quick
+            test_pp_roundtrip_figures;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+        ] );
+    ]

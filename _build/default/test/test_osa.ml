@@ -1,0 +1,276 @@
+open O2_ir.Builder
+open O2_pta
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_osa ?(policy = Context.Korigin 1) p =
+  let a = Solver.analyze ~policy p in
+  (a, O2_osa.Osa.run a)
+
+(* two threads sharing one object, one thread-local object each *)
+let shared_and_local () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "W" ~super:"Thread" ~fields:[ "sh" ]
+        [
+          meth "init" [ "s" ] [ fwrite "this" "sh" "s" ];
+          meth "run" []
+            [
+              fread "s" "this" "sh";
+              fwrite "s" "v" "s";  (* shared write *)
+              new_ "loc" "Data" [];
+              fwrite "loc" "v" "loc";  (* origin-local *)
+              ret None;
+            ];
+        ];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [
+              new_ "s" "Data" [];
+              new_ "w1" "W" [ "s" ];
+              new_ "w2" "W" [ "s" ];
+              start "w1";
+              start "w2";
+            ];
+        ];
+    ]
+
+let test_shared_detected () =
+  let a, osa = run_osa (shared_and_local ()) in
+  let shared = O2_osa.Osa.shared_locations osa in
+  (* the shared Data.v plus the two W.sh fields written by main and read by
+     each thread *)
+  check_bool "some shared" true (List.length shared >= 1);
+  let has_data_v =
+    List.exists
+      (fun (sh : O2_osa.Osa.sharing) ->
+        match sh.sh_target with
+        | Access.Tfield (oid, "v") ->
+            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+        | _ -> false)
+      shared
+  in
+  check_bool "Data.v shared" true has_data_v
+
+let test_local_not_shared () =
+  let a, osa = run_osa (shared_and_local ()) in
+  (* the loc objects: each written by exactly one origin *)
+  let local_shared =
+    List.exists
+      (fun (sh : O2_osa.Osa.sharing) ->
+        match sh.sh_target with
+        | Access.Tfield (oid, _) ->
+            let o = Pag.obj (Solver.pag a) oid in
+            (* loc allocs are inside run(): their heap ctx is a thread
+               origin, and they must not be shared *)
+            o.Pag.ob_class = "Data"
+            && (match o.Pag.ob_hctx with
+               | Context.Corigin (og :: _) -> og <> 0
+               | _ -> false)
+        | _ -> false)
+      (O2_osa.Osa.shared_locations osa)
+  in
+  check_bool "thread-local object not shared" false local_shared
+
+let test_local_shared_under_0ctx () =
+  (* the same program under 0-ctx conflates the two locs: falsely shared *)
+  let _, osa = run_osa ~policy:Context.Insensitive (shared_and_local ()) in
+  let _, osa_o2 = run_osa (shared_and_local ()) in
+  check_bool "0-ctx reports more shared accesses" true
+    (O2_osa.Osa.n_shared_accesses osa > O2_osa.Osa.n_shared_accesses osa_o2)
+
+let test_readers_vs_writers () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "Writer" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "Reader" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fread "x" "d" "v"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "s" "Data" [];
+                new_ "w" "Writer" [ "s" ];
+                new_ "r" "Reader" [ "s" ];
+                start "w";
+                start "r";
+              ];
+          ];
+      ]
+  in
+  let a, osa = run_osa p in
+  let sh =
+    List.find
+      (fun (sh : O2_osa.Osa.sharing) ->
+        match sh.sh_target with
+        | Access.Tfield (oid, "v") ->
+            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+        | _ -> false)
+      (O2_osa.Osa.shared_locations osa)
+  in
+  check_int "one writer origin" 1 (List.length sh.sh_writers);
+  check_int "one reader origin" 1 (List.length sh.sh_readers);
+  check_bool "distinct" true (sh.sh_writers <> sh.sh_readers)
+
+let test_read_only_not_shared () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "R" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fread "x" "d" "v"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "s" "Data" [];
+                new_ "r1" "R" [ "s" ];
+                new_ "r2" "R" [ "s" ];
+                start "r1";
+                start "r2";
+              ];
+          ];
+      ]
+  in
+  let a, osa = run_osa p in
+  let data_v_shared =
+    List.exists
+      (fun (sh : O2_osa.Osa.sharing) ->
+        match sh.sh_target with
+        | Access.Tfield (oid, "v") ->
+            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+        | _ -> false)
+      (O2_osa.Osa.shared_locations osa)
+  in
+  check_bool "read-only location is not origin-shared" false data_v_shared
+
+(* statics: OSA distinguishes a static used by a single origin (§3.3's
+   advantage over escape analysis) *)
+let test_static_single_origin () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "G" ~sfields:[ "only_main"; "both" ] [];
+        cls "Data" [];
+        cls "W" ~super:"Thread"
+          [ meth "run" [] [ sread "x" "G" "both"; ret None ] ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                swrite "G" "only_main" "d";
+                sread "r" "G" "only_main";
+                swrite "G" "both" "d";
+                new_ "w" "W" [];
+                start "w";
+              ];
+          ];
+      ]
+  in
+  let _, osa = run_osa p in
+  check_bool "single-origin static not shared" false
+    (O2_osa.Osa.is_shared_target osa (Access.Tstatic ("G", "only_main")));
+  check_bool "cross-origin static shared" true
+    (O2_osa.Osa.is_shared_target osa (Access.Tstatic ("G", "both")))
+
+(* arrays share through the * field *)
+let test_array_sharing () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Arr" [];
+        cls "W" ~super:"Thread" ~fields:[ "a" ]
+          [
+            meth "init" [ "a" ] [ fwrite "this" "a" "a" ];
+            meth "run" [] [ fread "a" "this" "a"; awrite "a" "a"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "arr" "Arr" [];
+                new_ "w1" "W" [ "arr" ];
+                new_ "w2" "W" [ "arr" ];
+                start "w1";
+                start "w2";
+              ];
+          ];
+      ]
+  in
+  let a, osa = run_osa p in
+  let star_shared =
+    List.exists
+      (fun (sh : O2_osa.Osa.sharing) ->
+        match sh.sh_target with
+        | Access.Tfield (oid, "*") ->
+            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Arr"
+        | _ -> false)
+      (O2_osa.Osa.shared_locations osa)
+  in
+  check_bool "array cell shared" true star_shared
+
+let test_counts_figure2 () =
+  let a, osa = run_osa (O2_workloads.Figures.figure2 ()) in
+  ignore a;
+  (* the T.s / T.op fields are written by main and read by the threads:
+     shared; the Data y objects are origin-local *)
+  check_bool "some shared accesses" true (O2_osa.Osa.n_shared_accesses osa > 0);
+  check_bool "some shared objects" true (O2_osa.Osa.n_shared_objects osa > 0)
+
+let test_origin_local_report () =
+  let a, osa = run_osa (shared_and_local ()) in
+  let sps = Solver.spawns a in
+  let thread_sp =
+    Array.to_list sps |> List.find (fun (s : Solver.spawn) -> s.sp_kind = `Thread)
+  in
+  let locals = O2_osa.Osa.origin_local_objects osa thread_sp.sp_id in
+  check_bool "thread has an origin-local object" true (List.length locals >= 1)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_output () =
+  let a, osa = run_osa (shared_and_local ()) in
+  let s = Format.asprintf "%a" (O2_osa.Osa.pp a) osa in
+  check_bool "mentions the shared class" true (contains s "Data")
+
+let () =
+  Alcotest.run "osa"
+    [
+      ( "sharing",
+        [
+          Alcotest.test_case "shared detected" `Quick test_shared_detected;
+          Alcotest.test_case "local not shared" `Quick test_local_not_shared;
+          Alcotest.test_case "0-ctx over-shares" `Quick
+            test_local_shared_under_0ctx;
+          Alcotest.test_case "readers vs writers" `Quick
+            test_readers_vs_writers;
+          Alcotest.test_case "read-only not shared" `Quick
+            test_read_only_not_shared;
+          Alcotest.test_case "statics per-origin" `Quick
+            test_static_single_origin;
+          Alcotest.test_case "arrays" `Quick test_array_sharing;
+          Alcotest.test_case "figure2 counts" `Quick test_counts_figure2;
+          Alcotest.test_case "origin-local report" `Quick
+            test_origin_local_report;
+          Alcotest.test_case "pp output" `Quick test_pp_output;
+        ] );
+    ]

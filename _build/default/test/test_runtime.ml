@@ -1,0 +1,591 @@
+open O2_ir.Builder
+open O2_runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run ?(seed = 0) p = Interp.run ~seed p
+
+(* ---------------- vector clocks ---------------- *)
+
+let test_vclock () =
+  let vc = Vclock.empty in
+  check_int "absent is 0" 0 (Vclock.get vc 3);
+  let vc = Vclock.tick vc 3 in
+  check_int "tick" 1 (Vclock.get vc 3);
+  let a = Vclock.set Vclock.empty 1 5 in
+  let b = Vclock.set Vclock.empty 2 7 in
+  let j = Vclock.join a b in
+  check_int "join a" 5 (Vclock.get j 1);
+  check_int "join b" 7 (Vclock.get j 2);
+  check_bool "leq" true (Vclock.leq a j);
+  check_bool "not leq" false (Vclock.leq j a);
+  check_bool "refl" true (Vclock.leq j j)
+
+(* ---------------- interpreter semantics ---------------- *)
+
+let test_basic_execution () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ new_ "d" "Data" []; fwrite "d" "v" "d"; fread "x" "d" "v" ];
+          ];
+      ]
+  in
+  let o = run p in
+  check_bool "completes" true o.Interp.completed;
+  check_bool "has events" true (List.length o.Interp.events >= 2)
+
+let test_field_roundtrip_via_events () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ new_ "d" "Data" []; fwrite "d" "v" "d"; fread "x" "d" "v" ];
+          ];
+      ]
+  in
+  let o = run p in
+  let writes =
+    List.filter (function Interp.Ewrite _ -> true | _ -> false) o.Interp.events
+  in
+  let reads =
+    List.filter (function Interp.Eread _ -> true | _ -> false) o.Interp.events
+  in
+  check_int "one write" 1 (List.length writes);
+  check_int "one read" 1 (List.length reads)
+
+let test_null_deref () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ null "d"; fwrite "d" "v" "d" ];
+          ];
+      ]
+  in
+  match run p with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let test_calls_and_returns () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "F"
+          [
+            meth "id" [ "x" ] [ ret (Some "x") ];
+            meth "mk" [] [ new_ "n" "Data" []; ret (Some "n") ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "f" "F" [];
+                call ~ret:"a" "f" "mk" [];
+                call ~ret:"b" "f" "id" [ "a" ];
+                fwrite "b" "v" "a";  (* works only if b is a ref *)
+              ];
+          ];
+      ]
+  in
+  check_bool "completes" true (run p).Interp.completed
+
+let test_virtual_dispatch_runtime () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "from_base"; "from_sub" ] [];
+        cls "Base" [ meth "tag" [ "d" ] [ fwrite "d" "from_base" "d" ] ];
+        cls "Sub" ~super:"Base" [ meth "tag" [ "d" ] [ fwrite "d" "from_sub" "d" ] ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "s" "Sub" [];
+                call "s" "tag" [ "d" ];
+              ];
+          ];
+      ]
+  in
+  let o = run p in
+  let wrote_sub =
+    List.exists
+      (function
+        | Interp.Ewrite { field = "from_sub"; _ } -> true
+        | _ -> false)
+      o.Interp.events
+  in
+  check_bool "override executed" true wrote_sub
+
+let test_threads_run_and_join () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "w" "W" [ "d" ];
+                start "w";
+                join "w";
+                fread "x" "d" "v";
+              ];
+          ];
+      ]
+  in
+  let o = run p in
+  check_bool "completed" true o.Interp.completed;
+  check_bool "spawn evt" true
+    (List.exists (function Interp.Espawn _ -> true | _ -> false) o.Interp.events);
+  check_bool "join evt" true
+    (List.exists (function Interp.Ejoin _ -> true | _ -> false) o.Interp.events);
+  (* the join orders: the thread's write precedes main's read in the
+     event list *)
+  let rec check_order = function
+    | Interp.Ewrite { field = "v"; _ } :: rest ->
+        List.exists (function Interp.Eread { field = "v"; _ } -> true | _ -> false) rest
+    | _ :: rest -> check_order rest
+    | [] -> false
+  in
+  check_bool "write before read" true (check_order o.Interp.events)
+
+let test_monitor_mutual_exclusion () =
+  (* two threads increment under the same lock; acquire/release events must
+     be properly nested per lock *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s"; "l" ]
+          [
+            meth "init" [ "s"; "l" ]
+              [ fwrite "this" "s" "s"; fwrite "this" "l" "l" ];
+            meth "run" []
+              [
+                fread "d" "this" "s";
+                fread "l" "this" "l";
+                sync "l" [ fwrite "d" "v" "d"; fread "x" "d" "v" ];
+                ret None;
+              ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "l" "Data" [];
+                new_ "w1" "W" [ "d"; "l" ];
+                new_ "w2" "W" [ "d"; "l" ];
+                start "w1";
+                start "w2";
+                join "w1";
+                join "w2";
+              ];
+          ];
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let o = run ~seed p in
+      check_bool "completed" true o.Interp.completed;
+      (* no interleaving of the two critical sections: between an acquire
+         and its release by task t, no event from another task on the same
+         lock-protected data *)
+      let owner = ref None in
+      List.iter
+        (fun e ->
+          match e with
+          | Interp.Eacquire { task; _ } ->
+              check_bool "lock free on acquire" true (!owner = None);
+              owner := Some task
+          | Interp.Erelease { task; _ } ->
+              check_bool "owner releases" true (!owner = Some task);
+              owner := None
+          | Interp.Ewrite { task; field = "v"; _ } ->
+              check_bool "write under lock by owner" true (!owner = Some task)
+          | _ -> ())
+        o.Interp.events)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_reentrant_monitor () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "l" "Data" [];
+                sync "l" [ sync "l" [ fwrite "l" "v" "l" ] ];
+              ];
+          ];
+      ]
+  in
+  check_bool "reentrancy works" true (run p).Interp.completed
+
+let test_events_serialized () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "H" ~super:"Handler" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "handle" []
+              [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "h" "H" [ "d" ];
+                post "h" [];
+                post "h" [];
+              ];
+          ];
+      ]
+  in
+  let o = run p in
+  check_bool "completed" true o.Interp.completed;
+  (* both deliveries execute on the same dispatcher task *)
+  let handler_tasks =
+    List.filter_map
+      (function
+        | Interp.Ewrite { task; field = "v"; _ } -> Some task
+        | _ -> None)
+      o.Interp.events
+    |> List.sort_uniq compare
+  in
+  check_int "one dispatcher task" 1 (List.length handler_tasks)
+
+let test_deadlock_detection () =
+  (* thread A: sync(l1){sync(l2)}, thread B: sync(l2){sync(l1)} — some
+     schedule deadlocks; all schedules either complete or report deadlock *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "AB" ~super:"Thread" ~fields:[ "a"; "b" ]
+          [
+            meth "init" [ "a"; "b" ]
+              [ fwrite "this" "a" "a"; fwrite "this" "b" "b" ];
+            meth "run" []
+              [
+                fread "a" "this" "a";
+                fread "b" "this" "b";
+                sync "a" [ sync "b" [ fwrite "a" "v" "a" ] ];
+                ret None;
+              ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "l1" "Data" [];
+                new_ "l2" "Data" [];
+                new_ "t1" "AB" [ "l1"; "l2" ];
+                new_ "t2" "AB" [ "l2"; "l1" ];
+                start "t1";
+                start "t2";
+              ];
+          ];
+      ]
+  in
+  let saw_deadlock = ref false and saw_completion = ref false in
+  for seed = 0 to 30 do
+    let o = run ~seed p in
+    if o.Interp.deadlocked then saw_deadlock := true;
+    if o.Interp.completed then saw_completion := true
+  done;
+  check_bool "some schedule completes" true !saw_completion;
+  check_bool "some schedule deadlocks" true !saw_deadlock
+
+let test_determinism_per_seed () =
+  let p = O2_workloads.Models.find "memcached" in
+  let o1 = run ~seed:42 (p.program ()) in
+  let o2 = run ~seed:42 (p.program ()) in
+  check_int "same steps" o1.Interp.steps o2.Interp.steps;
+  check_int "same events" (List.length o1.Interp.events)
+    (List.length o2.Interp.events)
+
+(* ---------------- dynamic race detection ---------------- *)
+
+let racy_prog () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "W" ~super:"Thread" ~fields:[ "s" ]
+        [
+          meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+          meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+        ];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [
+              new_ "d" "Data" [];
+              new_ "w1" "W" [ "d" ];
+              new_ "w2" "W" [ "d" ];
+              start "w1";
+              start "w2";
+            ];
+        ];
+    ]
+
+let test_dynrace_finds_race () =
+  let races = Dynrace.check (racy_prog ()) in
+  check_bool "dynamic race observed" true (List.length races >= 1)
+
+let test_dynrace_clean_when_locked () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s"; "l" ]
+          [
+            meth "init" [ "s"; "l" ]
+              [ fwrite "this" "s" "s"; fwrite "this" "l" "l" ];
+            meth "run" []
+              [
+                fread "d" "this" "s";
+                fread "l" "this" "l";
+                sync "l" [ fwrite "d" "v" "d" ];
+                ret None;
+              ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "l" "Data" [];
+                new_ "w1" "W" [ "d"; "l" ];
+                new_ "w2" "W" [ "d"; "l" ];
+                start "w1";
+                start "w2";
+              ];
+          ];
+      ]
+  in
+  check_int "no dynamic race under lock" 0 (List.length (Dynrace.check p))
+
+let test_dynrace_join_ordered () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "w" "W" [ "d" ];
+                start "w";
+                join "w";
+                fwrite "d" "v" "d";
+              ];
+          ];
+      ]
+  in
+  check_int "join removes the race" 0 (List.length (Dynrace.check p))
+
+let test_dynrace_event_vs_thread () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "H" ~super:"Handler" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "handle" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "h" "H" [ "d" ];
+                new_ "w" "W" [ "d" ];
+                post "h" [];
+                start "w";
+              ];
+          ];
+      ]
+  in
+  let races = Dynrace.check p in
+  check_bool "thread-event race observed dynamically" true
+    (List.length races >= 1)
+
+(* ---------------- systematic exploration ---------------- *)
+
+let tiny_racy () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "W" ~super:"Thread" ~fields:[ "s" ]
+        [
+          meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+          meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d" ];
+        ];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [
+              new_ "d" "Data" [];
+              new_ "w" "W" [ "d" ];
+              start "w";
+              fwrite "d" "v" "d";
+            ];
+        ];
+    ]
+
+let test_explore_exhaustive_small () =
+  let r = Explore.explore ~max_runs:100_000 (tiny_racy ()) in
+  check_bool "small tree fully explored" true r.Explore.exhaustive;
+  check_bool "race found" true (List.length r.Explore.races >= 1);
+  check_int "no deadlock" 0 r.Explore.deadlocks
+
+let test_explore_clean_program () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d" ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "w" "W" [ "d" ];
+                start "w";
+                join "w";
+                fwrite "d" "v" "d";
+              ];
+          ];
+      ]
+  in
+  let r = Explore.explore ~max_runs:100_000 p in
+  check_bool "exhaustive" true r.Explore.exhaustive;
+  check_int "no race in any schedule" 0 (List.length r.Explore.races)
+
+let test_explore_finds_deadlock_schedules () =
+  (* AB/BA: exploration must hit both deadlocking and completing runs *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "AB" ~super:"Thread" ~fields:[ "a"; "b" ]
+          [
+            meth "init" [ "a"; "b" ]
+              [ fwrite "this" "a" "a"; fwrite "this" "b" "b" ];
+            meth "run" []
+              [
+                fread "a" "this" "a";
+                fread "b" "this" "b";
+                sync "a" [ sync "b" [ fwrite "a" "v" "a" ] ];
+              ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "l1" "Data" [];
+                new_ "l2" "Data" [];
+                new_ "t1" "AB" [ "l1"; "l2" ];
+                new_ "t2" "AB" [ "l2"; "l1" ];
+                start "t1";
+                start "t2";
+              ];
+          ];
+      ]
+  in
+  let r = Explore.explore ~max_runs:100_000 p in
+  check_bool "deadlocking schedules found" true (r.Explore.deadlocks > 0);
+  check_bool "but not all deadlock" true (r.Explore.deadlocks < r.Explore.runs)
+
+let test_explore_beats_random_sampling () =
+  (* a race that needs a precise interleaving: the window is one statement
+     wide, so random seeds often miss it while DFS provably covers it *)
+  let r = Explore.explore ~max_runs:100_000 (tiny_racy ()) in
+  check_bool "explorer finds the narrow race" true
+    (List.length r.Explore.races >= 1)
+
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("vclock", [ Alcotest.test_case "ops" `Quick test_vclock ]);
+      ( "interp",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_execution;
+          Alcotest.test_case "events" `Quick test_field_roundtrip_via_events;
+          Alcotest.test_case "null deref" `Quick test_null_deref;
+          Alcotest.test_case "calls/returns" `Quick test_calls_and_returns;
+          Alcotest.test_case "virtual dispatch" `Quick
+            test_virtual_dispatch_runtime;
+          Alcotest.test_case "threads+join" `Quick test_threads_run_and_join;
+          Alcotest.test_case "monitors" `Quick test_monitor_mutual_exclusion;
+          Alcotest.test_case "reentrancy" `Quick test_reentrant_monitor;
+          Alcotest.test_case "events serialized" `Quick test_events_serialized;
+          Alcotest.test_case "deadlock detection" `Quick
+            test_deadlock_detection;
+          Alcotest.test_case "determinism per seed" `Quick
+            test_determinism_per_seed;
+        ] );
+      ( "dynrace",
+        [
+          Alcotest.test_case "finds race" `Quick test_dynrace_finds_race;
+          Alcotest.test_case "clean when locked" `Quick
+            test_dynrace_clean_when_locked;
+          Alcotest.test_case "join ordered" `Quick test_dynrace_join_ordered;
+          Alcotest.test_case "event vs thread" `Quick
+            test_dynrace_event_vs_thread;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "exhaustive small" `Quick
+            test_explore_exhaustive_small;
+          Alcotest.test_case "clean program" `Quick test_explore_clean_program;
+          Alcotest.test_case "deadlock schedules" `Quick
+            test_explore_finds_deadlock_schedules;
+          Alcotest.test_case "narrow window" `Quick
+            test_explore_beats_random_sampling;
+        ] );
+    ]
+

@@ -1,0 +1,516 @@
+open O2_ir.Builder
+open O2_pta
+open O2_shb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build ?(serial_events = true) ?(lock_region = true)
+    ?(policy = Context.Korigin 1) p =
+  let a = Solver.analyze ~policy p in
+  (a, Graph.build ~serial_events ~lock_region a)
+
+(* ---------------- Lockset ---------------- *)
+
+let test_lockset_canonical () =
+  let env = Lockset.create () in
+  check_int "empty is 0" 0 (Lockset.empty env);
+  let a = Lockset.id env [ 3; 1; 2 ] in
+  let b = Lockset.id env [ 1; 2; 3; 3 ] in
+  check_int "canonical: order/dups irrelevant" a b;
+  let c = Lockset.id env [ 1; 2 ] in
+  check_bool "distinct sets distinct ids" true (a <> c);
+  Alcotest.(check (list int)) "elements sorted" [ 1; 2; 3 ] (Lockset.elements env a)
+
+let test_lockset_acquire () =
+  let env = Lockset.create () in
+  let ls = Lockset.acquire env (Lockset.empty env) 5 in
+  Alcotest.(check (list int)) "acquire" [ 5 ] (Lockset.elements env ls);
+  let ls2 = Lockset.acquire env ls 5 in
+  check_int "reentrant acquire is identity" ls ls2;
+  let ls3 = Lockset.acquire env ls 9 in
+  Alcotest.(check (list int)) "nested" [ 5; 9 ] (Lockset.elements env ls3)
+
+let test_lockset_disjoint_cache () =
+  let env = Lockset.create () in
+  let a = Lockset.id env [ 1; 2 ] in
+  let b = Lockset.id env [ 2; 3 ] in
+  let c = Lockset.id env [ 4 ] in
+  check_bool "overlap" false (Lockset.disjoint env a b);
+  check_bool "disjoint" true (Lockset.disjoint env a c);
+  check_bool "empty always disjoint" true (Lockset.disjoint env 0 a);
+  let misses0 = Lockset.cache_misses env in
+  ignore (Lockset.disjoint env a b);
+  ignore (Lockset.disjoint env b a);
+  check_int "cache hit on repeat (symmetric)" misses0 (Lockset.cache_misses env);
+  check_bool "hits counted" true (Lockset.cache_hits env >= 2)
+
+let prop_lockset_id_iff_set =
+  QCheck2.Test.make ~name:"lockset id equal iff set equal" ~count:200
+    QCheck2.Gen.(pair (list (int_bound 10)) (list (int_bound 10)))
+    (fun (xs, ys) ->
+      let env = Lockset.create () in
+      let a = Lockset.id env xs and b = Lockset.id env ys in
+      a = b = (List.sort_uniq compare xs = List.sort_uniq compare ys))
+
+let prop_lockset_disjoint_model =
+  QCheck2.Test.make ~name:"disjoint = no common element" ~count:200
+    QCheck2.Gen.(pair (list (int_bound 10)) (list (int_bound 10)))
+    (fun (xs, ys) ->
+      let env = Lockset.create () in
+      let a = Lockset.id env xs and b = Lockset.id env ys in
+      Lockset.disjoint env a b
+      = not (List.exists (fun x -> List.mem x ys) xs))
+
+(* ---------------- graph construction (Table 4) ---------------- *)
+
+let simple_locked () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "W" ~super:"Thread" ~fields:[ "s"; "l" ]
+        [
+          meth "init" [ "s"; "l" ]
+            [ fwrite "this" "s" "s"; fwrite "this" "l" "l" ];
+          meth "run" []
+            [
+              fread "s" "this" "s";
+              fread "l" "this" "l";
+              sync "l" [ fwrite "s" "v" "s" ];
+              fread "x" "s" "v";
+              ret None;
+            ];
+        ];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [
+              new_ "s" "Data" [];
+              new_ "l" "Data" [];
+              new_ "w1" "W" [ "s"; "l" ];
+              new_ "w2" "W" [ "s"; "l" ];
+              start "w1";
+              start "w2";
+              join "w1";
+              join "w2";
+            ];
+        ];
+    ]
+
+let kinds g =
+  Array.to_list (Graph.nodes g) |> List.map (fun n -> n.Graph.n_kind)
+
+let test_nodes_emitted () =
+  let _, g = build (simple_locked ()) in
+  let ks = kinds g in
+  check_bool "acq" true
+    (List.exists (function Graph.Acq _ -> true | _ -> false) ks);
+  check_bool "rel" true
+    (List.exists (function Graph.Rel _ -> true | _ -> false) ks);
+  check_bool "spawn" true
+    (List.exists (function Graph.SpawnTo _ -> true | _ -> false) ks);
+  check_bool "join" true
+    (List.exists (function Graph.JoinOf _ -> true | _ -> false) ks);
+  check_int "spawn edges" 2 (List.length (Graph.spawn_edges g));
+  check_int "join edges" 2 (List.length (Graph.join_edges g))
+
+let test_ids_monotone () =
+  let _, g = build (simple_locked ()) in
+  let prev = ref (-1) in
+  Array.iter
+    (fun (n : Graph.node) ->
+      check_bool "strictly increasing" true (n.Graph.n_id > !prev);
+      prev := n.Graph.n_id)
+    (Graph.nodes g)
+
+let test_lockset_on_access () =
+  let _, g = build (simple_locked ()) in
+  let locks = Graph.locks g in
+  let writes, reads =
+    Array.to_list (Graph.accesses g)
+    |> List.partition (fun n ->
+           match n.Graph.n_kind with Graph.Write _ -> true | _ -> false)
+  in
+  (* the Data.v write inside sync holds a lock; the Data.v read after it
+     holds none *)
+  let locked_writes =
+    List.filter
+      (fun (n : Graph.node) ->
+        match n.Graph.n_kind with
+        | Graph.Write (Access.Tfield (_, "v")) ->
+            Lockset.elements locks n.Graph.n_lockset <> []
+        | _ -> false)
+      writes
+  in
+  check_bool "locked v-write exists" true (locked_writes <> []);
+  let unlocked_v_reads =
+    List.filter
+      (fun (n : Graph.node) ->
+        match n.Graph.n_kind with
+        | Graph.Read (Access.Tfield (_, "v")) ->
+            Lockset.elements locks n.Graph.n_lockset = []
+        | _ -> false)
+      reads
+  in
+  check_bool "unlocked v-read exists" true (unlocked_v_reads <> [])
+
+let test_multi_pts_lock_is_not_must () =
+  (* a lock variable pointing to two objects is not a must-lock *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                if_ [ new_ "l" "Data" [] ] [ new_ "l" "Data" [] ];
+                new_ "s" "Data" [];
+                sync "l" [ fwrite "s" "v" "s" ];
+              ];
+          ];
+      ]
+  in
+  let _, g = build p in
+  let locks = Graph.locks g in
+  Array.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.n_kind with
+      | Graph.Write _ ->
+          Alcotest.(check (list int))
+            "ambiguous lock dropped" []
+            (Lockset.elements locks n.Graph.n_lockset)
+      | _ -> ())
+    (Graph.accesses g)
+
+(* ---------------- happens-before ---------------- *)
+
+let find_access g ~write ~field =
+  Array.to_list (Graph.accesses g)
+  |> List.find (fun (n : Graph.node) ->
+         match n.Graph.n_kind with
+         | Graph.Write (Access.Tfield (_, f)) -> write && f = field
+         | Graph.Read (Access.Tfield (_, f)) -> (not write) && f = field
+         | _ -> false)
+
+let test_hb_intra_origin () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "a"; "b" ] [];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ new_ "d" "Data" []; fwrite "d" "a" "d"; fwrite "d" "b" "d" ];
+          ];
+      ]
+  in
+  let _, g = build p in
+  let wa = find_access g ~write:true ~field:"a" in
+  let wb = find_access g ~write:true ~field:"b" in
+  check_bool "program order" true (Graph.hb g wa wb);
+  check_bool "not backwards" false (Graph.hb g wb wa)
+
+let test_hb_spawn_edge () =
+  (* main writes before start; thread reads: ordered. *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fread "x" "d" "v"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                fwrite "d" "v" "d";  (* before the spawn *)
+                new_ "w" "W" [ "d" ];
+                start "w";
+              ];
+          ];
+      ]
+  in
+  let _, g = build p in
+  let w = find_access g ~write:true ~field:"v" in
+  let r = find_access g ~write:false ~field:"v" in
+  check_bool "write hb read (spawn)" true (Graph.hb g w r);
+  check_bool "read not hb write" false (Graph.hb g r w)
+
+let test_hb_after_spawn_not_ordered () =
+  (* main writes AFTER start: unordered with the thread's read *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fread "x" "d" "v"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "w" "W" [ "d" ];
+                start "w";
+                fwrite "d" "v" "d";  (* after the spawn *)
+              ];
+          ];
+      ]
+  in
+  let _, g = build p in
+  let w = find_access g ~write:true ~field:"v" in
+  let r = find_access g ~write:false ~field:"v" in
+  check_bool "no hb w->r" false (Graph.hb g w r);
+  check_bool "no hb r->w" false (Graph.hb g r w)
+
+let test_hb_join_edge () =
+  (* thread writes; main reads after join: ordered *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                new_ "w" "W" [ "d" ];
+                start "w";
+                join "w";
+                fread "x" "d" "v";
+              ];
+          ];
+      ]
+  in
+  let _, g = build p in
+  let w = find_access g ~write:true ~field:"v" in
+  let r = find_access g ~write:false ~field:"v" in
+  check_bool "thread write hb post-join read" true (Graph.hb g w r)
+
+let test_hb_transitive_spawn_chain () =
+  (* main -> outer -> inner; main's pre-spawn write hb inner's read *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "Inner" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" [] [ fread "d" "this" "s"; fread "x" "d" "v"; ret None ];
+          ];
+        cls "Outer" ~super:"Thread" ~fields:[ "s" ]
+          [
+            meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+            meth "run" []
+              [
+                fread "d" "this" "s";
+                new_ "i" "Inner" [ "d" ];
+                start "i";
+                ret None;
+              ];
+          ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                fwrite "d" "v" "d";
+                new_ "o" "Outer" [ "d" ];
+                start "o";
+              ];
+          ];
+      ]
+  in
+  let _, g = build p in
+  let w = find_access g ~write:true ~field:"v" in
+  let r = find_access g ~write:false ~field:"v" in
+  check_bool "transitive over two spawns" true (Graph.hb g w r)
+
+(* ---------------- events & dispatcher ---------------- *)
+
+let event_prog () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "H" ~super:"Handler" ~fields:[ "s" ]
+        [
+          meth "init" [ "s" ] [ fwrite "this" "s" "s" ];
+          meth "handle" [] [ fread "d" "this" "s"; fwrite "d" "v" "d"; ret None ];
+        ];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [
+              new_ "d" "Data" [];
+              new_ "h1" "H" [ "d" ];
+              new_ "h2" "H" [ "d" ];
+              post "h1" [];
+              post "h2" [];
+            ];
+        ];
+    ]
+
+let test_dispatcher_lock () =
+  (* only the handler-body writes (field v) carry the dispatcher lock; the
+     constructor writes run in main *)
+  let v_writes g =
+    Array.to_list (Graph.accesses g)
+    |> List.filter (fun (n : Graph.node) ->
+           match n.Graph.n_kind with
+           | Graph.Write (Access.Tfield (_, "v")) -> true
+           | _ -> false)
+  in
+  let _, g = build ~serial_events:true (event_prog ()) in
+  let locks = Graph.locks g in
+  check_bool "handler writes exist" true (v_writes g <> []);
+  List.iter
+    (fun (n : Graph.node) ->
+      check_bool "handler holds dispatcher lock" true
+        (List.mem Lockset.dispatcher_lock
+           (Lockset.elements locks n.Graph.n_lockset)))
+    (v_writes g);
+  let _, g2 = build ~serial_events:false (event_prog ()) in
+  List.iter
+    (fun (n : Graph.node) ->
+      Alcotest.(check (list int))
+        "no dispatcher lock when disabled" []
+        (Lockset.elements (Graph.locks g2) n.Graph.n_lockset))
+    (v_writes g2)
+
+(* ---------------- lock regions ---------------- *)
+
+let region_prog () =
+  prog ~main:"M"
+    [
+      cls "Data" ~fields:[ "v" ] [];
+      cls "M"
+        [
+          meth ~static:true "main" []
+            [
+              new_ "d" "Data" [];
+              new_ "l" "Data" [];
+              sync "l"
+                [
+                  fwrite "d" "v" "d";
+                  fwrite "d" "v" "d";
+                  fwrite "d" "v" "d";
+                ];
+            ];
+        ];
+    ]
+
+let count_writes g =
+  Array.to_list (Graph.accesses g)
+  |> List.filter (fun (n : Graph.node) ->
+         match n.Graph.n_kind with Graph.Write _ -> true | _ -> false)
+  |> List.length
+
+let test_lock_region_merging () =
+  let _, g = build ~lock_region:true (region_prog ()) in
+  check_int "merged to one" 1 (count_writes g);
+  let _, g2 = build ~lock_region:false (region_prog ()) in
+  check_int "unmerged keeps all" 3 (count_writes g2)
+
+let test_lock_region_reset_at_spawn () =
+  (* a spawn between two identical accesses changes their HB position: they
+     must NOT merge *)
+  let p =
+    prog ~main:"M"
+      [
+        cls "Data" ~fields:[ "v" ] [];
+        cls "W" ~super:"Thread" [ meth "run" [] [ ret None ] ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [
+                new_ "d" "Data" [];
+                fwrite "d" "v" "d";
+                new_ "w" "W" [];
+                start "w";
+                fwrite "d" "v" "d";
+              ];
+          ];
+      ]
+  in
+  let _, g = build ~lock_region:true p in
+  check_int "not merged across spawn" 2 (count_writes g)
+
+let test_self_parallel_loop_spawn () =
+  let p =
+    prog ~main:"M"
+      [
+        cls "W" ~super:"Thread" [ meth "run" [] [ ret None ] ];
+        cls "M"
+          [
+            meth ~static:true "main" []
+              [ while_ [ new_ "w" "W" []; start "w" ] ];
+          ];
+      ]
+  in
+  (* under 0-ctx: one abstract origin, self-parallel *)
+  let _, g0 = build ~policy:Context.Insensitive p in
+  let self_par_exists =
+    Array.length (Solver.spawns (Graph.solver g0)) > 1
+    && Graph.self_parallel g0 1
+  in
+  check_bool "0-ctx marks loop spawn self-parallel" true self_par_exists;
+  (* under OPA: doubled instead *)
+  let _, gO = build ~policy:(Context.Korigin 1) p in
+  check_int "origin policy doubles" 3
+    (Array.length (Solver.spawns (Graph.solver gO)));
+  check_bool "copies not self-parallel" false
+    (Graph.self_parallel gO 1 || Graph.self_parallel gO 2)
+
+let () =
+  Alcotest.run "shb"
+    [
+      ( "lockset",
+        [
+          Alcotest.test_case "canonical ids" `Quick test_lockset_canonical;
+          Alcotest.test_case "acquire" `Quick test_lockset_acquire;
+          Alcotest.test_case "disjoint+cache" `Quick test_lockset_disjoint_cache;
+          QCheck_alcotest.to_alcotest prop_lockset_id_iff_set;
+          QCheck_alcotest.to_alcotest prop_lockset_disjoint_model;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "nodes emitted (Table 4)" `Quick
+            test_nodes_emitted;
+          Alcotest.test_case "ids monotone" `Quick test_ids_monotone;
+          Alcotest.test_case "locksets on accesses" `Quick
+            test_lockset_on_access;
+          Alcotest.test_case "ambiguous lock not must" `Quick
+            test_multi_pts_lock_is_not_must;
+        ] );
+      ( "happens-before",
+        [
+          Alcotest.test_case "intra-origin order" `Quick test_hb_intra_origin;
+          Alcotest.test_case "spawn edge" `Quick test_hb_spawn_edge;
+          Alcotest.test_case "post-spawn unordered" `Quick
+            test_hb_after_spawn_not_ordered;
+          Alcotest.test_case "join edge" `Quick test_hb_join_edge;
+          Alcotest.test_case "transitive spawns" `Quick
+            test_hb_transitive_spawn_chain;
+        ] );
+      ( "events",
+        [ Alcotest.test_case "dispatcher lock" `Quick test_dispatcher_lock ] );
+      ( "lock-region",
+        [
+          Alcotest.test_case "merging" `Quick test_lock_region_merging;
+          Alcotest.test_case "reset at spawn" `Quick
+            test_lock_region_reset_at_spawn;
+          Alcotest.test_case "self-parallel policies" `Quick
+            test_self_parallel_loop_spawn;
+        ] );
+    ]

@@ -1,0 +1,13 @@
+(* dev helper: write the embedded example sources as .cir files *)
+let () =
+  let out name src =
+    let oc = open_out (Filename.concat Sys.argv.(1) (name ^ ".cir")) in
+    output_string oc src;
+    close_out oc
+  in
+  out "figure2" O2_workloads.Figures.figure2_src;
+  out "figure3" O2_workloads.Figures.figure3_src;
+  out "memcached" O2_workloads.Models.memcached_src;
+  out "zookeeper" O2_workloads.Models.zookeeper_src;
+  out "firefox" O2_workloads.Models.firefox_src;
+  out "linux" O2_workloads.Models.linux_src
