@@ -3,9 +3,10 @@
    real-world race models, plus the §4.1 ablations, and finishes with a
    Bechamel micro-benchmark per table kernel.
 
-     dune exec bench/main.exe            # all tables + ablations + bechamel
-     dune exec bench/main.exe -- tables  # tables only
-     dune exec bench/main.exe -- bech    # bechamel only
+     dune exec bench/main.exe                # tables + trajectory + bechamel
+     dune exec bench/main.exe -- tables      # tables + trajectory
+     dune exec bench/main.exe -- bech        # bechamel only
+     dune exec bench/main.exe -- trajectory  # only write BENCH_o2.json
 
    Absolute numbers are machine- and substrate-dependent; the claims being
    reproduced are the *shapes*: who wins, by what rough factor, and where
@@ -154,9 +155,9 @@ let table6 () =
           let a, dt = analyze_time pol p in
           let s = Solver.stats a in
           pf "%-11s %-8s %10d %10d %10d   (%.3fs)\n" spec.s_name name
-            (O2_util.Stats.get s "n_pointers")
-            (O2_util.Stats.get s "n_objects")
-            (O2_util.Stats.get s "n_edges")
+            (O2_util.Metrics.get s "pta.pointers")
+            (O2_util.Metrics.get s "pta.objects")
+            (O2_util.Metrics.get s "pta.edges")
             dt)
         [
           ("0-ctx", Context.Insensitive);
@@ -269,7 +270,7 @@ let table10 () =
     O2_workloads.Models.all;
   (* the §5.4 Linux locality observation *)
   let m = O2_workloads.Models.find "linux" in
-  let r = O2.analyze (m.program ()) in
+  let r = O2.run O2.Config.default (m.program ()) in
   let shared = List.length (O2.shared_locations r) in
   pf
     "\nLinux model: %d origin-shared locations across %d origins; the rest \
@@ -327,6 +328,43 @@ let ablations () =
     [ 1; 2; 3 ]
 
 (* ------------------------------------------------------------------ *)
+(* Trajectory: machine-readable per-workload metrics dump.             *)
+
+(* One instrumented O2 run per workload, serialized to BENCH_o2.json so
+   tooling can track the pipeline's counters/timers across commits:
+
+     { "schema": "bench_o2/v1",
+       "runs": [ { "bench": "<workload>", "policy": "O2",
+                   "elapsed": <seconds>, "races": <n>,
+                   "metrics": <O2_util.Metrics.to_json> }, ... ] } *)
+let trajectory ?(path = "BENCH_o2.json") () =
+  rule "Trajectory — instrumented runs (BENCH_o2.json)";
+  let workloads = [ "lusearch"; "memcached"; "zookeeper"; "redis" ] in
+  let runs =
+    List.map
+      (fun name ->
+        let p = O2_workloads.Synth.program (O2_workloads.Synth.find name) in
+        let cfg = O2.Config.with_metrics O2.Config.default in
+        let r = O2.run cfg p in
+        let m =
+          match r.O2.config.O2.Config.metrics with
+          | Some m -> m
+          | None -> assert false
+        in
+        pf "%-12s %3d races  %.3fs\n" name (O2.n_races r) r.O2.elapsed;
+        Printf.sprintf
+          {|{"bench":"%s","policy":"O2","elapsed":%.6f,"races":%d,"metrics":%s}|}
+          name r.O2.elapsed (O2.n_races r) (O2_util.Metrics.to_json m))
+      workloads
+  in
+  let oc = open_out path in
+  Printf.fprintf oc {|{"schema":"bench_o2/v1","runs":[%s]}|}
+    (String.concat "," runs);
+  output_char oc '\n';
+  close_out oc;
+  pf "wrote %s (%d runs)\n" path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table kernel.          *)
 
 let bechamel_suite () =
@@ -354,7 +392,7 @@ let bechamel_suite () =
              ignore (Solver.analyze ~policy:(Context.Kcfa 2) p_small)));
       (* Table 6 kernel: whole O2 pipeline on the C-style app *)
       Test.make ~name:"table6_o2_pipeline"
-        (Staged.stage (fun () -> ignore (O2.analyze p_med)));
+        (Staged.stage (fun () -> ignore (O2.run O2.Config.default p_med)));
       (* Table 7 kernel: OSA scan on solved facts *)
       Test.make ~name:"table7_osa_scan"
         (Staged.stage (fun () -> ignore (O2_osa.Osa.run a_med)));
@@ -408,9 +446,13 @@ let run_tables () =
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match mode with
-  | "tables" -> run_tables ()
+  | "tables" ->
+      run_tables ();
+      trajectory ()
   | "bech" -> bechamel_suite ()
+  | "trajectory" -> trajectory ()
   | _ ->
       run_tables ();
+      trajectory ();
       bechamel_suite ());
   pf "\nbench: done\n"

@@ -95,30 +95,37 @@ let analyze_cmd =
     Arg.(
       value & flag
       & info [ "stats" ]
-          ~doc:"Also print origin count and wall-clock analysis time.")
+          ~doc:
+            "Attach a metrics sink to the pipeline and print per-stage \
+             timers and counters (PAG sizes, worklist iterations, OSA \
+             sharing, lockset-cache hit rate, race checks). With $(b,--json) \
+             the report gains a $(b,metrics) field.")
   in
   let run file policy no_serial naive no_region json stats =
     handle_errors @@ fun () ->
     let p = load file in
     let serial_events = not no_serial in
+    let format = if json then `Json else `Text in
+    let metrics = if stats then Some (O2_util.Metrics.create ()) else None in
     if naive then begin
-      let a, g, report = O2_race.Naive.analyze ~policy ~serial_events p in
-      if json then print_endline (O2_race.Report.to_json a g report)
-      else Format.printf "%a@." (O2_race.Report.pp a g) report
+      let a, g, report =
+        O2_race.Naive.analyze ~policy ~serial_events ?metrics p
+      in
+      print_endline
+        (O2_race.Report.render ~format ?metrics
+           { O2_race.Report.solver = a; graph = g; report })
     end
     else begin
-      let r =
-        O2.analyze ~policy ~serial_events ~lock_region:(not no_region) p
+      let cfg =
+        {
+          O2.Config.policy;
+          serial_events;
+          lock_region = not no_region;
+          metrics;
+        }
       in
-      if json then
-        print_endline
-          (O2_race.Report.to_json r.O2.solver r.O2.graph r.O2.report)
-      else begin
-        Format.printf "%a@." (O2.pp_report r) ();
-        if stats then
-          Format.printf "origins: %d, analysis time: %.3fs@." (O2.n_origins r)
-            r.O2.elapsed
-      end
+      let r = O2.run cfg p in
+      print_endline (O2.render ~format r)
     end
   in
   Cmd.v
@@ -133,7 +140,7 @@ let osa_cmd =
   let run file policy =
     handle_errors @@ fun () ->
     let p = load file in
-    let r = O2.analyze ~policy p in
+    let r = O2.run { O2.Config.default with O2.Config.policy } p in
     Format.printf "%a@." (O2.pp_sharing r) ()
   in
   Cmd.v
@@ -351,7 +358,7 @@ let android_cmd =
     let classes = O2_frontend.Parser.parse_classes ~file src in
     match O2_ir.Harness.android ?main_activity:activity classes with
     | p ->
-        let r = O2.analyze ~policy p in
+        let r = O2.run { O2.Config.default with O2.Config.policy } p in
         Format.printf "%a@." (O2.pp_report r) ()
     | exception O2_ir.Harness.No_activity msg ->
         Printf.eprintf "harness error: %s\n" msg;
@@ -492,7 +499,7 @@ let model_cmd =
         match O2_workloads.Models.find n with
         | m ->
             let p = if fixed then m.fixed () else m.program () in
-            let r = O2.analyze p in
+            let r = O2.run O2.Config.default p in
             Format.printf "%a@." (O2.pp_report r) ()
         | exception Not_found ->
             Printf.eprintf "unknown model %s\n" n;

@@ -90,7 +90,7 @@ let program () =
 
 let () =
   let p = program () in
-  let r = O2.analyze p in
+  let r = O2.run O2.Config.default p in
   Format.printf "=== races ===@.%a@." (O2.pp_report r) ();
 
   let dl = O2_race.Deadlock.analyze p in

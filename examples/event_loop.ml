@@ -60,7 +60,7 @@ let program () =
 
 let () =
   let p = program () in
-  let r = O2.analyze p in
+  let r = O2.run O2.Config.default p in
   Format.printf "=== static analysis ===@.%a@.@." (O2.pp_report r) ();
 
   (* Execute the app under many schedules; the dynamic detector observes

@@ -14,7 +14,7 @@
 let () =
   let m = O2_workloads.Models.find "linux" in
   let p = m.program () in
-  let r = O2.analyze p in
+  let r = O2.run O2.Config.default p in
   Format.printf "=== races (expected %d, as in Table 10) ===@.%a@.@."
     m.expected_races (O2.pp_report r) ();
 

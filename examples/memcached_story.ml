@@ -14,12 +14,12 @@ let () =
   Format.printf "model: %s@.bug: %s@.@." m.name m.describe;
 
   let racy = m.program () in
-  let r = O2.analyze racy in
+  let r = O2.run O2.Config.default racy in
   Format.printf "=== O2 on the buggy code (expect %d races) ===@.%a@.@."
     m.expected_races (O2.pp_report r) ();
 
   let fixed = m.fixed () in
-  let rf = O2.analyze fixed in
+  let rf = O2.run O2.Config.default fixed in
   Format.printf "=== O2 after the developers' fix ===@.%a@.@."
     (O2.pp_report rf) ();
 

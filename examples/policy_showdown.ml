@@ -27,15 +27,22 @@ let () =
     "#pointer" "#object" "#edge" "#races";
   List.iter
     (fun policy ->
-      let t0 = Unix.gettimeofday () in
-      let r = O2.analyze ~policy p in
-      let dt = Unix.gettimeofday () -. t0 in
-      let stats = O2_pta.Solver.stats r.O2.solver in
+      (* each run gets a fresh metrics sink; the PAG sizes are read back
+         from the counters the solver records into it *)
+      let cfg =
+        O2.Config.with_metrics { O2.Config.default with O2.Config.policy }
+      in
+      let r = O2.run cfg p in
+      let m =
+        match r.O2.config.O2.Config.metrics with
+        | Some m -> m
+        | None -> assert false
+      in
       Format.printf "%-10s %9.3f %6d %10d %9d %10d %7d@."
         (O2_pta.Context.policy_name policy)
-        dt (O2.n_origins r)
-        (O2_util.Stats.get stats "n_pointers")
-        (O2_util.Stats.get stats "n_objects")
-        (O2_util.Stats.get stats "n_edges")
+        r.O2.elapsed (O2.n_origins r)
+        (O2_util.Metrics.get m "pta.pointers")
+        (O2_util.Metrics.get m "pta.objects")
+        (O2_util.Metrics.get m "pta.edges")
         (O2.n_races r))
     policies

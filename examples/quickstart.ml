@@ -14,7 +14,7 @@ let () =
   let program = O2_workloads.Figures.figure2 () in
 
   (* 2. Analyze with the paper's default configuration (1-origin OPA). *)
-  let r = O2.analyze program in
+  let r = O2.run O2.Config.default program in
 
   Format.printf "=== O2 (origin-sensitive) ===@.";
   Format.printf "origins discovered: %d@." (O2.n_origins r);
@@ -25,7 +25,11 @@ let () =
 
   (* 4. Compare with the context-insensitive baseline: it merges both
      threads' thread-local Data objects and reports a false race. *)
-  let r0 = O2.analyze ~policy:O2_pta.Context.Insensitive program in
+  let r0 =
+    O2.run
+      { O2.Config.default with O2.Config.policy = O2_pta.Context.Insensitive }
+      program
+  in
   Format.printf "=== 0-ctx baseline on the same program ===@.";
   Format.printf "%a@." (O2.pp_report r0) ();
   Format.printf

@@ -1,4 +1,24 @@
+module Config = struct
+  type t = {
+    policy : O2_pta.Context.policy;
+    serial_events : bool;
+    lock_region : bool;
+    metrics : O2_util.Metrics.t option;
+  }
+
+  let default =
+    {
+      policy = O2_pta.Context.Korigin 1;
+      serial_events = true;
+      lock_region = true;
+      metrics = None;
+    }
+
+  let with_metrics cfg = { cfg with metrics = Some (O2_util.Metrics.create ()) }
+end
+
 type result = {
+  config : Config.t;
   solver : O2_pta.Solver.t;
   graph : O2_shb.Graph.t;
   report : O2_race.Detect.report;
@@ -6,14 +26,46 @@ type result = {
   elapsed : float;
 }
 
+let run (cfg : Config.t) p =
+  let t0 = Unix.gettimeofday () in
+  let m = cfg.Config.metrics in
+  let sp name f =
+    match m with None -> f () | Some mm -> O2_util.Metrics.span mm name f
+  in
+  let solver, graph, report, osa =
+    sp "analyze" (fun () ->
+        let solver =
+          sp "pta" (fun () ->
+              O2_pta.Solver.analyze ~policy:cfg.Config.policy ?metrics:m p)
+        in
+        let graph =
+          sp "shb" (fun () ->
+              O2_shb.Graph.build ~serial_events:cfg.Config.serial_events
+                ~lock_region:cfg.Config.lock_region ?metrics:m solver)
+        in
+        let report = sp "race" (fun () -> O2_race.Detect.run ?metrics:m graph) in
+        let osa = sp "osa" (fun () -> O2_osa.Osa.run ?metrics:m solver) in
+        (solver, graph, report, osa))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match m with
+  | None -> ()
+  | Some mm ->
+      O2_util.Metrics.set mm "o2.races" (O2_race.Detect.n_races report);
+      O2_util.Metrics.set mm "o2.origins" (O2_pta.Solver.n_origins solver));
+  { config = cfg; solver; graph; report; osa; elapsed }
+
 let analyze ?(policy = O2_pta.Context.Korigin 1) ?(serial_events = true)
     ?(lock_region = true) p =
-  let t0 = Unix.gettimeofday () in
-  let solver = O2_pta.Solver.analyze ~policy p in
-  let graph = O2_shb.Graph.build ~serial_events ~lock_region solver in
-  let report = O2_race.Detect.run graph in
-  let osa = O2_osa.Osa.run solver in
-  { solver; graph; report; osa; elapsed = Unix.gettimeofday () -. t0 }
+  run { Config.policy; serial_events; lock_region; metrics = None } p
+
+let render ?format r =
+  O2_race.Report.render ?format ?metrics:r.config.Config.metrics
+    {
+      O2_race.Report.solver = r.solver;
+      graph = r.graph;
+      report = r.report;
+    }
 
 let races r = r.report.O2_race.Detect.races
 let n_races r = O2_race.Detect.n_races r.report

@@ -8,14 +8,45 @@
 
     {[
       let program = O2_frontend.Parser.parse_file "app.cir" in
-      let r = O2.analyze program in
-      List.iter (fun race -> Format.printf "%a@." (O2.pp_race r) race)
-        (O2.races r)
+      let r = O2.run O2.Config.default program in
+      print_endline (O2.render r)
+    ]}
+
+    To observe the pipeline, attach a metrics sink:
+
+    {[
+      let cfg = O2.Config.with_metrics O2.Config.default in
+      let r = O2.run cfg program in
+      print_endline (O2.render ~format:`Json r)   (* includes "metrics" *)
     ]} *)
 
 open O2_ir
 
+(** Pipeline configuration. Build one with a record update of
+    {!Config.default} rather than from scratch, so new fields keep old code
+    compiling. *)
+module Config : sig
+  type t = {
+    policy : O2_pta.Context.policy;
+        (** pointer-analysis context policy (paper default: [Korigin 1]) *)
+    serial_events : bool;
+        (** Android-style single event dispatcher (§4.2) *)
+    lock_region : bool;  (** lock-region access merging (§4.1) *)
+    metrics : O2_util.Metrics.t option;
+        (** observability sink threaded through every stage; [None]
+            (default) costs nothing on any hot path *)
+  }
+
+  (** The paper's defaults: 1-origin OPA, serialized events, lock-region
+      merging, no metrics. *)
+  val default : t
+
+  (** [with_metrics cfg] is [cfg] with a fresh metrics sink attached. *)
+  val with_metrics : t -> t
+end
+
 type result = {
+  config : Config.t;  (** the configuration that produced this result *)
   solver : O2_pta.Solver.t;  (** points-to facts, call graph, origins *)
   graph : O2_shb.Graph.t;  (** the static happens-before graph *)
   report : O2_race.Detect.report;  (** detected races *)
@@ -23,19 +54,29 @@ type result = {
   elapsed : float;  (** total wall-clock seconds *)
 }
 
-(** [analyze p] runs the full O2 pipeline with the paper's defaults:
-    1-origin-sensitive pointer analysis, serialized event dispatcher,
-    lock-region merging.
+(** [run cfg p] runs the full O2 pipeline under [cfg]: OPA → SHB → race
+    detection → OSA. When [cfg.metrics] is set, each stage runs inside a
+    trace span ([analyze/pta], [analyze/shb], [analyze/race],
+    [analyze/osa]) and records its counters into the sink. *)
+val run : Config.t -> Program.t -> result
 
-    @param policy pointer-analysis context policy (default [Korigin 1])
-    @param serial_events Android-style single event dispatcher (§4.2)
-    @param lock_region lock-region access merging (§4.1) *)
+(** [analyze p] is the legacy optional-argument entry point, equivalent to
+    [run { Config.default with policy; serial_events; lock_region }].
+
+    @deprecated Use {!Config} and {!run}; this shim remains for source
+    compatibility and never records metrics. *)
 val analyze :
   ?policy:O2_pta.Context.policy ->
   ?serial_events:bool ->
   ?lock_region:bool ->
   Program.t ->
   result
+
+(** [render ?format r] renders the race report as text (default) or JSON
+    via the unified {!O2_race.Report.render} path. If the run carried a
+    metrics sink, the output includes it (text table / ["metrics"] JSON
+    field). *)
+val render : ?format:[ `Text | `Json ] -> result -> string
 
 (** [races r] is the deduplicated race list. *)
 val races : result -> O2_race.Detect.race list

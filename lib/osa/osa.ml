@@ -55,7 +55,10 @@ let touch t origin oid =
   in
   Hashtbl.replace tbl oid ()
 
-let run a =
+let freeze target (s : mut_sharing) =
+  { sh_target = target; sh_readers = s.readers; sh_writers = s.writers }
+
+let run ?metrics a =
   let t =
     {
       locs = Hashtbl.create 256;
@@ -65,26 +68,42 @@ let run a =
         Array.map (Solver.origin_of_spawn a) (Solver.spawns a);
     }
   in
-  Array.iter
-    (fun (sp : Solver.spawn) ->
-      let origin = Solver.origin_of_spawn a sp in
-      Walk.iter_origin a sp (fun m ctx s ->
-          match Access.of_stmt a m ctx s with
-          | None -> ()
-          | Some (targets, is_write) ->
-              List.iter
-                (fun target ->
-                  compute_origin_sharing t ~site:s.O2_ir.Ast.sid ~target
-                    ~origin ~is_write;
-                  match target with
-                  | Access.Tfield (oid, _) -> touch t origin oid
-                  | Access.Tstatic _ -> ())
-                targets))
-    (Solver.spawns a);
+  let n_scanned = ref 0 in
+  let scan () =
+    Array.iter
+      (fun (sp : Solver.spawn) ->
+        let origin = Solver.origin_of_spawn a sp in
+        Walk.iter_origin a sp (fun m ctx s ->
+            incr n_scanned;
+            match Access.of_stmt a m ctx s with
+            | None -> ()
+            | Some (targets, is_write) ->
+                List.iter
+                  (fun target ->
+                    compute_origin_sharing t ~site:s.O2_ir.Ast.sid ~target
+                      ~origin ~is_write;
+                    match target with
+                    | Access.Tfield (oid, _) -> touch t origin oid
+                    | Access.Tstatic _ -> ())
+                  targets))
+      (Solver.spawns a)
+  in
+  (match metrics with
+  | None -> scan ()
+  | Some m -> O2_util.Metrics.span m "osa.scan" scan);
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let open O2_util in
+      Metrics.set m "osa.stmts_scanned" !n_scanned;
+      Metrics.set m "osa.accesses" (List.length t.accesses);
+      Metrics.set m "osa.locations" (Hashtbl.length t.locs);
+      Metrics.set m "osa.shared_locations"
+        (Hashtbl.fold
+           (fun target s acc ->
+             if is_shared (freeze target s) then acc + 1 else acc)
+           t.locs 0));
   t
-
-let freeze target (s : mut_sharing) =
-  { sh_target = target; sh_readers = s.readers; sh_writers = s.writers }
 
 let sharing_of t target =
   Option.map (freeze target) (Hashtbl.find_opt t.locs target)

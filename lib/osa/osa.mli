@@ -29,8 +29,11 @@ val is_shared : sharing -> bool
 
 type t
 
-(** [run a] scans all origins of the analysis result [a]. *)
-val run : Solver.t -> t
+(** [run ?metrics a] scans all origins of the analysis result [a]. With a
+    sink the scan runs inside an ["osa.scan"] span and records
+    [osa.stmts_scanned], [osa.accesses], [osa.locations] and
+    [osa.shared_locations] (the Table 7 volume columns). *)
+val run : ?metrics:O2_util.Metrics.t -> Solver.t -> t
 
 (** [sharing_of t target] is the recorded sharing for a location, if any
     origin accessed it. *)

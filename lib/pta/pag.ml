@@ -31,6 +31,13 @@ type t = {
   edge_set : (int * int, unit) Hashtbl.t;
   watchers : (int, (int -> unit) list ref) Hashtbl.t;
   mutable worklist : (int * int list) list;  (* (node, delta objs), LIFO *)
+  (* plain-int instrumentation, always on (no allocation, flushed into a
+     Metrics sink by the solver at the end of the run) *)
+  mutable wl_len : int;
+  mutable wl_peak : int;
+  mutable n_wl_iters : int;
+  mutable n_wl_pushes : int;
+  mutable n_pts_adds : int;
 }
 
 let create () =
@@ -42,6 +49,11 @@ let create () =
     edge_set = Hashtbl.create 256;
     watchers = Hashtbl.create 64;
     worklist = [];
+    wl_len = 0;
+    wl_peak = 0;
+    n_wl_iters = 0;
+    n_wl_pushes = 0;
+    n_pts_adds = 0;
   }
 
 let obj_id g o = ObjIntern.intern g.objs o
@@ -66,10 +78,19 @@ let n_nodes g = NodeIntern.count g.nodes
 let n_edges g = Hashtbl.length g.edge_set
 let pts g id = g.pts.(id)
 
-let schedule g n delta = if delta <> [] then g.worklist <- (n, delta) :: g.worklist
+let schedule g n delta =
+  if delta <> [] then begin
+    g.worklist <- (n, delta) :: g.worklist;
+    g.n_wl_pushes <- g.n_wl_pushes + 1;
+    g.wl_len <- g.wl_len + 1;
+    if g.wl_len > g.wl_peak then g.wl_peak <- g.wl_len
+  end
 
 let add_obj g n o =
-  if Bitset.add g.pts.(n) o then schedule g n [ o ]
+  if Bitset.add g.pts.(n) o then begin
+    g.n_pts_adds <- g.n_pts_adds + 1;
+    schedule g n [ o ]
+  end
 
 let add_copy g ~src ~dst =
   if src <> dst && not (Hashtbl.mem g.edge_set (src, dst)) then begin
@@ -82,6 +103,7 @@ let add_copy g ~src ~dst =
       Bitset.fold (fun o acc -> if Bitset.add g.pts.(dst) o then o :: acc else acc)
         g.pts.(src) []
     in
+    g.n_pts_adds <- g.n_pts_adds + List.length delta;
     schedule g dst delta
   end
 
@@ -97,6 +119,8 @@ let solve g =
     | [] -> ()
     | (n, delta) :: rest ->
         g.worklist <- rest;
+        g.wl_len <- g.wl_len - 1;
+        g.n_wl_iters <- g.n_wl_iters + 1;
         (* copy propagation *)
         (match Hashtbl.find_opt g.succs n with
         | Some l ->
@@ -105,6 +129,7 @@ let solve g =
                 let fresh =
                   List.filter (fun o -> Bitset.add g.pts.(dst) o) delta
                 in
+                g.n_pts_adds <- g.n_pts_adds + List.length fresh;
                 schedule g dst fresh)
               !l
         | None -> ());
@@ -119,3 +144,13 @@ let solve g =
   loop ()
 
 let iter_nodes f g = NodeIntern.iter (fun id n -> f id n g.pts.(id)) g.nodes
+
+let n_worklist_iters g = g.n_wl_iters
+let n_worklist_pushes g = g.n_wl_pushes
+let worklist_peak g = g.wl_peak
+let n_pts_adds g = g.n_pts_adds
+
+let n_pts_facts g =
+  let total = ref 0 in
+  NodeIntern.iter (fun id _ -> total := !total + Bitset.cardinal g.pts.(id)) g.nodes;
+  !total

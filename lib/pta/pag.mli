@@ -67,3 +67,26 @@ val solve : t -> unit
 
 (** [iter_nodes f g] applies [f id node pts] to every node. *)
 val iter_nodes : (int -> node -> O2_util.Bitset.t -> unit) -> t -> unit
+
+(** {2 Instrumentation}
+
+    Always-on plain-integer counters (the increments cost nothing
+    measurable); the solver flushes them into its {!O2_util.Metrics} sink
+    after the fixpoint. *)
+
+(** [n_worklist_iters g] counts worklist items popped by {!solve}. *)
+val n_worklist_iters : t -> int
+
+(** [n_worklist_pushes g] counts non-empty deltas scheduled. *)
+val n_worklist_pushes : t -> int
+
+(** [worklist_peak g] is the deepest the worklist ever got. *)
+val worklist_peak : t -> int
+
+(** [n_pts_adds g] counts successful points-to fact insertions (the
+    difference-propagation work actually performed). *)
+val n_pts_adds : t -> int
+
+(** [n_pts_facts g] is Σ|pts(n)| over all nodes — the paper's points-to
+    set volume. O(nodes·words), computed on demand. *)
+val n_pts_facts : t -> int

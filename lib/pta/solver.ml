@@ -46,7 +46,7 @@ type t = {
   mutable join_list : join list;
   origin_reg : OriginIntern.t;
   origin_attr_nodes : (int, int list ref) Hashtbl.t;
-  stats : Stats.t;
+  stats : Metrics.t;
   mutable spawn_arr : spawn array;  (* finalized *)
 }
 
@@ -362,7 +362,8 @@ and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
 
 (* ----------------------------------------------------------------------- *)
 
-let analyze ?(policy = Context.Korigin 1) program =
+let analyze ?(policy = Context.Korigin 1) ?metrics program =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   let st =
     {
       program;
@@ -375,7 +376,7 @@ let analyze ?(policy = Context.Korigin 1) program =
       join_list = [];
       origin_reg = OriginIntern.create ();
       origin_attr_nodes = Hashtbl.create 64;
-      stats = Stats.create ();
+      stats = m;
       spawn_arr = [||];
     }
   in
@@ -384,7 +385,7 @@ let analyze ?(policy = Context.Korigin 1) program =
   assert (zero = 0);
   let main = Program.main program in
   let ectx = Context.entry policy in
-  Stats.time st.stats "solve" (fun () ->
+  Metrics.span m "pta.solve" (fun () ->
       reach st main ectx;
       Pag.solve st.pag;
       (* watchers added during solving may have queued more work *)
@@ -401,10 +402,21 @@ let analyze ?(policy = Context.Korigin 1) program =
            | _ -> compare (a.sp_site, a.sp_obj) (b.sp_site, b.sp_obj))
   in
   st.spawn_arr <- Array.of_list (List.mapi (fun i sp -> { sp with sp_id = i }) sps);
-  Stats.set st.stats "n_pointers" (Pag.n_nodes st.pag);
-  Stats.set st.stats "n_objects" (Pag.n_objs st.pag);
-  Stats.set st.stats "n_edges" (Pag.n_edges st.pag);
-  Stats.set st.stats "n_reached" (Hashtbl.length st.reach_tbl);
+  (* the paper's Table 6 columns plus the solver-internal work counters *)
+  Metrics.set m "pta.pointers" (Pag.n_nodes st.pag);
+  Metrics.set m "pta.objects" (Pag.n_objs st.pag);
+  Metrics.set m "pta.edges" (Pag.n_edges st.pag);
+  Metrics.set m "pta.reached_methods" (Hashtbl.length st.reach_tbl);
+  Metrics.set m "pta.worklist_iters" (Pag.n_worklist_iters st.pag);
+  Metrics.set m "pta.worklist_pushes" (Pag.n_worklist_pushes st.pag);
+  Metrics.gauge_set m "pta.worklist_peak" (Pag.worklist_peak st.pag);
+  Metrics.set m "pta.pts_adds" (Pag.n_pts_adds st.pag);
+  Metrics.set m "pta.pts_facts" (Pag.n_pts_facts st.pag);
+  Metrics.set m "pta.spawns" (Array.length st.spawn_arr);
+  Metrics.set m "pta.origins"
+    (match policy with
+    | Context.Korigin _ -> max 0 (OriginIntern.count st.origin_reg - 1)
+    | _ -> max 0 (Array.length st.spawn_arr - 1));
   st
 
 let program t = t.program

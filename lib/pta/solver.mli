@@ -49,9 +49,15 @@ type t
 
 exception Analysis_error of string
 
-(** [analyze ?policy p] runs the whole-program analysis from [main].
-    Default policy is [Korigin 1] (the paper's O2 configuration). *)
-val analyze : ?policy:Context.policy -> Program.t -> t
+(** [analyze ?policy ?metrics p] runs the whole-program analysis from
+    [main]. Default policy is [Korigin 1] (the paper's O2 configuration).
+
+    When [metrics] is given it is used as the observability sink: the solve
+    is wrapped in a ["pta.solve"] span and the Table 6 counters
+    ([pta.pointers], [pta.objects], [pta.edges], [pta.worklist_iters],
+    [pta.pts_facts], [pta.origins], …) are recorded into it; otherwise a
+    private sink (readable via {!stats}) collects the same numbers. *)
+val analyze : ?policy:Context.policy -> ?metrics:O2_util.Metrics.t -> Program.t -> t
 
 val program : t -> Program.t
 val policy : t -> Context.policy
@@ -97,4 +103,6 @@ val is_reached : t -> Program.meth -> bool
     or the number of non-main spawns otherwise. *)
 val n_origins : t -> int
 
-val stats : t -> O2_util.Stats.t
+(** [stats a] is the metrics sink the run recorded into — the one passed to
+    {!analyze}, or the private one created when none was. *)
+val stats : t -> O2_util.Metrics.t

@@ -25,7 +25,7 @@ let dedup_key r =
 let n_races report =
   List.map dedup_key report.races |> List.sort_uniq compare |> List.length
 
-let run g =
+let run_detect g =
   let locks = Graph.locks g in
   (* group access nodes by target *)
   let groups : (Access.target, Graph.node list ref) Hashtbl.t =
@@ -138,9 +138,27 @@ let run g =
   in
   { races; n_pairs_checked = !n_pairs; n_hb_pruned = !n_hb; n_lock_pruned = !n_lock }
 
+let run ?metrics g =
+  match metrics with
+  | None -> run_detect g
+  | Some m ->
+      let report = O2_util.Metrics.span m "race.detect" (fun () -> run_detect g) in
+      let open O2_util in
+      let locks = Graph.locks g in
+      Metrics.set m "race.pairs_checked" report.n_pairs_checked;
+      Metrics.set m "race.hb_pruned" report.n_hb_pruned;
+      Metrics.set m "race.lock_pruned" report.n_lock_pruned;
+      Metrics.set m "race.candidates" (List.length report.races);
+      Metrics.set m "race.races" (n_races report);
+      (* the lockset disjointness cache is exercised by detection: snapshot
+         its hit rate here (cumulative over all runs on this graph) *)
+      Metrics.set m "shb.lockset_cache_hits" (Lockset.cache_hits locks);
+      Metrics.set m "shb.lockset_cache_misses" (Lockset.cache_misses locks);
+      report
+
 let analyze ?(policy = Context.Korigin 1) ?(serial_events = true)
-    ?(lock_region = true) p =
-  let a = Solver.analyze ~policy p in
-  let g = Graph.build ~serial_events ~lock_region a in
-  let report = run g in
+    ?(lock_region = true) ?metrics p =
+  let a = Solver.analyze ~policy ?metrics p in
+  let g = Graph.build ~serial_events ~lock_region ?metrics a in
+  let report = run ?metrics g in
   (a, g, report)

@@ -31,14 +31,20 @@ type report = {
     paper's Tables 8–10 report. *)
 val n_races : report -> int
 
-(** [run g] detects races on a built SHB graph. *)
-val run : Graph.t -> report
+(** [run ?metrics g] detects races on a built SHB graph. With a sink,
+    detection runs inside a ["race.detect"] span and records
+    [race.pairs_checked], [race.hb_pruned], [race.lock_pruned],
+    [race.candidates] (witnesses kept), [race.races] (after source-site
+    dedup) and the lockset-cache hit/miss snapshot. *)
+val run : ?metrics:O2_util.Metrics.t -> Graph.t -> report
 
 (** [analyze ?policy ?serial_events p] is the full O2 pipeline:
-    pointer analysis → SHB → detection. *)
+    pointer analysis → SHB → detection. [metrics] is threaded through all
+    three stages. *)
 val analyze :
   ?policy:Context.policy ->
   ?serial_events:bool ->
   ?lock_region:bool ->
+  ?metrics:O2_util.Metrics.t ->
   O2_ir.Program.t ->
   Solver.t * Graph.t * report

@@ -97,7 +97,7 @@ let access_json a g (n : Graph.node) =
     (json_escape (origin_name a n.Graph.n_origin))
     locks
 
-let to_json a g (report : Detect.report) =
+let json_body a g (report : Detect.report) =
   let races =
     List.map
       (fun (r : Detect.race) ->
@@ -109,8 +109,36 @@ let to_json a g (report : Detect.report) =
       report.Detect.races
   in
   Printf.sprintf
-    {|{"races":[%s],"summary":{"n_races":%d,"pairs_checked":%d,"hb_pruned":%d,"lock_pruned":%d}}|}
+    {|"races":[%s],"summary":{"n_races":%d,"pairs_checked":%d,"hb_pruned":%d,"lock_pruned":%d}|}
     (String.concat "," races)
     (Detect.n_races report)
     report.Detect.n_pairs_checked report.Detect.n_hb_pruned
     report.Detect.n_lock_pruned
+
+let to_json a g (report : Detect.report) =
+  Printf.sprintf "{%s}" (json_body a g report)
+
+(* ------------------------------------------------------------------ *)
+(* the one render entry point shared by every detector and the CLI *)
+
+type result = {
+  solver : Solver.t;
+  graph : Graph.t;
+  report : Detect.report;
+}
+
+let render ?(format = `Text) ?metrics { solver; graph; report } =
+  match format with
+  | `Json -> (
+      match metrics with
+      | None -> to_json solver graph report
+      | Some m ->
+          Printf.sprintf {|{%s,"metrics":%s}|}
+            (json_body solver graph report)
+            (O2_util.Metrics.to_json m))
+  | `Text -> (
+      let base = Format.asprintf "%a" (pp solver graph) report in
+      match metrics with
+      | None -> base
+      | Some m ->
+          Format.asprintf "%s@.--- metrics ---@.%a" base O2_util.Metrics.pp m)

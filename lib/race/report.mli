@@ -1,7 +1,27 @@
-(** Rendering of race reports for the CLI and examples. *)
+(** Rendering of race reports for the CLI and examples.
+
+    {!render} is the single output path: both the optimized detector
+    ({!Detect}) and the naive baseline ({!Naive}) produce the same
+    [(solver, graph, report)] shape, and the [O2] facade delegates here, so
+    text and JSON reports are byte-identical no matter which engine ran. *)
 
 open O2_pta
 open O2_shb
+
+(** Everything needed to render a race report. Both detectors return these
+    three values; [O2.result] carries them too. *)
+type result = {
+  solver : Solver.t;
+  graph : Graph.t;
+  report : Detect.report;
+}
+
+(** [render ?format ?metrics r] renders the report as text (default) or
+    JSON. When [metrics] is given, the text form appends the metrics table
+    after a [--- metrics ---] separator and the JSON form gains a
+    ["metrics"] field ({!O2_util.Metrics.to_json}). *)
+val render :
+  ?format:[ `Text | `Json ] -> ?metrics:O2_util.Metrics.t -> result -> string
 
 (** [pp_race a g ppf r] prints one race with both access sites, their
     origins and locksets, in the style of the paper's §5.4 listings. *)

@@ -204,7 +204,7 @@ let build_origin g (sp : Solver.spawn) spawn_index =
   in
   visit sp.Solver.sp_entry sp.Solver.sp_ectx base_ls
 
-let build ?(serial_events = true) ?(lock_region = true) a =
+let build_graph ~serial_events ~lock_region a =
   let sps = Solver.spawns a in
   let p = Solver.program a in
   let self_par =
@@ -313,6 +313,26 @@ let build ?(serial_events = true) ?(lock_region = true) a =
          (fun n -> match n.n_kind with Read _ | Write _ -> true | _ -> false)
          (Array.to_list all));
   g
+
+let build ?(serial_events = true) ?(lock_region = true) ?metrics a =
+  match metrics with
+  | None -> build_graph ~serial_events ~lock_region a
+  | Some m ->
+      let g =
+        O2_util.Metrics.span m "shb.build" (fun () ->
+            build_graph ~serial_events ~lock_region a)
+      in
+      let open O2_util in
+      Metrics.set m "shb.nodes" (Array.length g.nodes_arr);
+      Metrics.set m "shb.access_nodes" (Array.length g.accesses_arr);
+      Metrics.set m "shb.spawn_edges" (List.length g.spawns_e);
+      Metrics.set m "shb.join_edges" (List.length g.joins_e);
+      Metrics.set m "shb.sem_edges" (List.length g.sems_e);
+      Metrics.set m "shb.edges"
+        (List.length g.spawns_e + List.length g.joins_e
+       + List.length g.sems_e);
+      Metrics.set m "shb.locksets" (Lockset.n_distinct g.locks);
+      g
 
 (* ------------------------------------------------------------------ *)
 (* happens-before *)

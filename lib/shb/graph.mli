@@ -44,8 +44,16 @@ type t
     event-handler origin implicitly holds {!Lockset.dispatcher_lock}
     (default [true]).
     @param lock_region enable lock-region access merging (default [true];
-    the ablation benchmark disables it). *)
-val build : ?serial_events:bool -> ?lock_region:bool -> Solver.t -> t
+    the ablation benchmark disables it).
+    @param metrics observability sink: construction runs inside an
+    ["shb.build"] span and records [shb.nodes], [shb.access_nodes],
+    [shb.edges] (spawn + join + semaphore) and [shb.locksets]. *)
+val build :
+  ?serial_events:bool ->
+  ?lock_region:bool ->
+  ?metrics:O2_util.Metrics.t ->
+  Solver.t ->
+  t
 
 val solver : t -> Solver.t
 val locks : t -> Lockset.t

@@ -1,0 +1,239 @@
+type gauge = { mutable g_cur : int; mutable g_peak : int }
+
+type span = {
+  sp_path : string;
+  sp_depth : int;
+  sp_seq : int;
+  sp_start : float;
+  mutable sp_elapsed : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, float ref) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  mutable span_list : span list; (* reverse start order *)
+  mutable span_stack : span list;
+  mutable span_seq : int;
+  t0 : float;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    timers = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    span_list = [];
+    span_stack = [];
+    span_seq = 0;
+    t0 = Unix.gettimeofday ();
+  }
+
+(* ---- counters ---- *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter t name)
+
+let add t name n =
+  let r = counter t name in
+  r := !r + n
+
+let set t name n = counter t name := n
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- timers ---- *)
+
+let timer t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t.timers name r;
+      r
+
+let time t name f =
+  let r = timer t name in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> r := !r +. (Unix.gettimeofday () -. t0)) f
+
+let get_time t name =
+  match Hashtbl.find_opt t.timers name with Some r -> !r | None -> 0.0
+
+let timers t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.timers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- gauges ---- *)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_cur = 0; g_peak = 0 } in
+      Hashtbl.add t.gauges name g;
+      g
+
+let gauge_set t name v =
+  let g = gauge t name in
+  g.g_cur <- v;
+  if v > g.g_peak then g.g_peak <- v
+
+let gauge_add t name d =
+  let g = gauge t name in
+  g.g_cur <- g.g_cur + d;
+  if g.g_cur > g.g_peak then g.g_peak <- g.g_cur
+
+let gauge_peak t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> g.g_peak | None -> 0
+
+let gauges t =
+  Hashtbl.fold (fun k g acc -> (k, g.g_cur, g.g_peak) :: acc) t.gauges []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* ---- spans ---- *)
+
+let span t name f =
+  let path =
+    match t.span_stack with
+    | [] -> name
+    | parent :: _ -> parent.sp_path ^ "/" ^ name
+  in
+  let sp =
+    {
+      sp_path = path;
+      sp_depth = List.length t.span_stack;
+      sp_seq = t.span_seq;
+      sp_start = Unix.gettimeofday () -. t.t0;
+      sp_elapsed = -1.0;
+    }
+  in
+  t.span_seq <- t.span_seq + 1;
+  t.span_list <- sp :: t.span_list;
+  t.span_stack <- sp :: t.span_stack;
+  Fun.protect
+    ~finally:(fun () ->
+      sp.sp_elapsed <- Unix.gettimeofday () -. t.t0 -. sp.sp_start;
+      t.span_stack <-
+        (match t.span_stack with top :: rest when top == sp -> rest | s -> s))
+    f
+
+let spans t =
+  List.sort (fun a b -> compare a.sp_seq b.sp_seq) t.span_list
+
+(* ---- export ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_json sp =
+  Printf.sprintf
+    {|{"path":"%s","depth":%d,"start":%.6f,"elapsed":%.6f}|}
+    (json_escape sp.sp_path) sp.sp_depth sp.sp_start
+    (if sp.sp_elapsed < 0.0 then 0.0 else sp.sp_elapsed)
+
+let to_json t =
+  let fields kvs = String.concat "," kvs in
+  let cs =
+    List.map
+      (fun (k, v) -> Printf.sprintf {|"%s":%d|} (json_escape k) v)
+      (counters t)
+  in
+  let ts =
+    List.map
+      (fun (k, v) -> Printf.sprintf {|"%s":%.6f|} (json_escape k) v)
+      (timers t)
+  in
+  let gs =
+    List.map
+      (fun (k, cur, peak) ->
+        Printf.sprintf {|"%s":{"current":%d,"peak":%d}|} (json_escape k) cur
+          peak)
+      (gauges t)
+  in
+  let sps = List.map span_json (spans t) in
+  Printf.sprintf
+    {|{"counters":{%s},"timers":{%s},"gauges":{%s},"spans":[%s]}|}
+    (fields cs) (fields ts) (fields gs) (fields sps)
+
+let to_json_lines t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"type":"counter","name":"%s","value":%d}|}
+           (json_escape k) v);
+      Buffer.add_char buf '\n')
+    (counters t);
+  List.iter
+    (fun (k, cur, peak) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"type":"gauge","name":"%s","current":%d,"peak":%d}|}
+           (json_escape k) cur peak);
+      Buffer.add_char buf '\n')
+    (gauges t);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"type":"timer","name":"%s","seconds":%.6f}|}
+           (json_escape k) v);
+      Buffer.add_char buf '\n')
+    (timers t);
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"type":"span",%s|}
+           (let j = span_json sp in
+            String.sub j 1 (String.length j - 1)));
+      Buffer.add_char buf '\n')
+    (spans t);
+  Buffer.contents buf
+
+let pp ppf t =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-32s %12d@." k v)
+    (counters t);
+  List.iter
+    (fun (k, cur, peak) ->
+      Format.fprintf ppf "%-32s %12d (peak %d)@." k cur peak)
+    (gauges t);
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-32s %11.6fs@." k v)
+    (timers t);
+  List.iter
+    (fun sp ->
+      let name =
+        match String.rindex_opt sp.sp_path '/' with
+        | Some i ->
+            String.sub sp.sp_path (i + 1) (String.length sp.sp_path - i - 1)
+        | None -> sp.sp_path
+      in
+      let label = String.make (2 * sp.sp_depth) ' ' ^ name in
+      Format.fprintf ppf "%-32s %11.6fs@." label
+        (if sp.sp_elapsed < 0.0 then 0.0 else sp.sp_elapsed))
+    (spans t)

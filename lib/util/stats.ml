@@ -1,51 +1,1 @@
-type t = {
-  counters : (string, int ref) Hashtbl.t;
-  timers : (string, float ref) Hashtbl.t;
-}
-
-let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16 }
-
-let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add t.counters name r;
-      r
-
-let incr t name = Stdlib.incr (counter t name)
-
-let add t name n =
-  let r = counter t name in
-  r := !r + n
-
-let set t name n = counter t name := n
-
-let get t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
-
-let timer t name =
-  match Hashtbl.find_opt t.timers name with
-  | Some r -> r
-  | None ->
-      let r = ref 0.0 in
-      Hashtbl.add t.timers name r;
-      r
-
-let time t name f =
-  let r = timer t name in
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> r := !r +. (Unix.gettimeofday () -. t0)) f
-
-let get_time t name =
-  match Hashtbl.find_opt t.timers name with Some r -> !r | None -> 0.0
-
-let counters t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let pp ppf t =
-  List.iter (fun (k, v) -> Format.fprintf ppf "%-24s %d@." k v) (counters t);
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.timers []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (k, v) -> Format.fprintf ppf "%-24s %.6fs@." k v)
+include Metrics

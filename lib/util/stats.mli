@@ -1,9 +1,10 @@
-(** Lightweight named counters and timers for analysis instrumentation.
+(** Deprecated alias of {!Metrics}, kept for source compatibility.
 
-    The benchmark harness reads these to report the paper's per-analysis
-    metrics (#pointers, #objects, #PAG edges, #race checks, …). *)
+    [Stats.t] {e is} [Metrics.t]: the counter/timer subset of the sink the
+    pipeline now threads through every stage. New code should use
+    {!Metrics} (and the [O2.Config.t] entry point) directly. *)
 
-type t
+type t = Metrics.t
 
 (** [create ()] is an empty statistics sink. *)
 val create : unit -> t
@@ -30,5 +31,5 @@ val get_time : t -> string -> float
 (** [counters t] lists [(name, value)] sorted by name. *)
 val counters : t -> (string * int) list
 
-(** [pp] prints all counters and timers, one per line. *)
+(** [pp] prints all recorded metrics, one per line. *)
 val pp : Format.formatter -> t -> unit
