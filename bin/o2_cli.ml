@@ -101,7 +101,16 @@ let analyze_cmd =
              sharing, lockset-cache hit rate, race checks). With $(b,--json) \
              the report gains a $(b,metrics) field.")
   in
-  let run file policy no_serial naive no_region json stats =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan the per-target race checks across $(docv) worker domains \
+             (default 1 = serial). Output is byte-identical to a serial \
+             run. Ignored by $(b,--naive).")
+  in
+  let run file policy no_serial naive no_region json stats jobs =
     handle_errors @@ fun () ->
     let p = load file in
     let serial_events = not no_serial in
@@ -122,6 +131,7 @@ let analyze_cmd =
           serial_events;
           lock_region = not no_region;
           metrics;
+          jobs;
         }
       in
       let r = O2.run cfg p in
@@ -132,7 +142,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Detect data races in a CIR program")
     Term.(
       const run $ file_arg $ policy_arg $ serial_arg $ naive $ no_region
-      $ json $ stats)
+      $ json $ stats $ jobs)
 
 (* ---- osa ---- *)
 

@@ -4,6 +4,7 @@ module Config = struct
     serial_events : bool;
     lock_region : bool;
     metrics : O2_util.Metrics.t option;
+    jobs : int;
   }
 
   let default =
@@ -12,6 +13,7 @@ module Config = struct
       serial_events = true;
       lock_region = true;
       metrics = None;
+      jobs = 1;
     }
 
   let with_metrics cfg = { cfg with metrics = Some (O2_util.Metrics.create ()) }
@@ -43,7 +45,10 @@ let run (cfg : Config.t) p =
               O2_shb.Graph.build ~serial_events:cfg.Config.serial_events
                 ~lock_region:cfg.Config.lock_region ?metrics:m solver)
         in
-        let report = sp "race" (fun () -> O2_race.Detect.run ?metrics:m graph) in
+        let report =
+          sp "race" (fun () ->
+              O2_race.Detect.run ?metrics:m ~jobs:cfg.Config.jobs graph)
+        in
         let osa = sp "osa" (fun () -> O2_osa.Osa.run ?metrics:m solver) in
         (solver, graph, report, osa))
   in
@@ -57,7 +62,7 @@ let run (cfg : Config.t) p =
 
 let analyze ?(policy = O2_pta.Context.Korigin 1) ?(serial_events = true)
     ?(lock_region = true) p =
-  run { Config.policy; serial_events; lock_region; metrics = None } p
+  run { Config.policy; serial_events; lock_region; metrics = None; jobs = 1 } p
 
 let render ?format r =
   O2_race.Report.render ?format ?metrics:r.config.Config.metrics

@@ -35,10 +35,14 @@ module Config : sig
     metrics : O2_util.Metrics.t option;
         (** observability sink threaded through every stage; [None]
             (default) costs nothing on any hot path *)
+    jobs : int;
+        (** worker domains for race detection (default 1 = serial; requires
+            OCaml 5). The parallel output is byte-identical to serial —
+            per-domain accumulators are merged and sorted at the end. *)
   }
 
   (** The paper's defaults: 1-origin OPA, serialized events, lock-region
-      merging, no metrics. *)
+      merging, no metrics, serial detection. *)
   val default : t
 
   (** [with_metrics cfg] is [cfg] with a fresh metrics sink attached. *)

@@ -30,6 +30,7 @@ type meth_key = Types.cname * Types.mname * Context.t
 
 type reach_info = {
   mutable incoming : int list;  (* call-site sids reaching this instance *)
+  incoming_set : (int, unit) Hashtbl.t;  (* O(1) membership for [incoming] *)
   mutable processed : bool;
   mutable origin_allocs : (int -> unit) list;
       (* wrapper-site redo closures for origin allocations in this body *)
@@ -41,11 +42,18 @@ type t = {
   pag : Pag.t;
   reach_tbl : (meth_key, reach_info) Hashtbl.t;
   call_edges : (int * Context.t, (Program.meth * Context.t) list ref) Hashtbl.t;
+  call_edge_keys :
+    (int * Context.t * Types.cname * Types.mname * Context.t, unit) Hashtbl.t;
+      (* hashed dedup for call_edges; a per-site list scan is quadratic on
+         megamorphic sites *)
+  mutable n_call_edges : int;
   mutable spawn_list : spawn list;
   spawn_keys : (int * Types.cname * Types.mname * Context.t * int, unit) Hashtbl.t;
   mutable join_list : join list;
   origin_reg : OriginIntern.t;
   origin_attr_nodes : (int, int list ref) Hashtbl.t;
+  origin_attr_seen : (int * int, unit) Hashtbl.t;
+      (* hashed dedup for origin_attr_nodes entries *)
   stats : Metrics.t;
   mutable spawn_arr : spawn array;  (* finalized *)
 }
@@ -60,11 +68,17 @@ let nvar st (m : Program.meth) ctx v =
 let nret st (m : Program.meth) ctx =
   Pag.node_id st.pag (Pag.NRet (m.Program.m_class, m.Program.m_name, ctx))
 
-let record_call_edge st ~site ~ctx callee =
-  let key = (site, ctx) in
-  match Hashtbl.find_opt st.call_edges key with
-  | Some l -> if not (List.mem callee !l) then l := callee :: !l
-  | None -> Hashtbl.add st.call_edges key (ref [ callee ])
+let record_call_edge st ~site ~ctx ((target, cctx) as callee) =
+  let dedup =
+    (site, ctx, target.Program.m_class, target.Program.m_name, cctx)
+  in
+  if not (Hashtbl.mem st.call_edge_keys dedup) then begin
+    Hashtbl.add st.call_edge_keys dedup ();
+    st.n_call_edges <- st.n_call_edges + 1;
+    match Hashtbl.find_opt st.call_edges (site, ctx) with
+    | Some l -> l := callee :: !l
+    | None -> Hashtbl.add st.call_edges (site, ctx) (ref [ callee ])
+  end
 
 let record_spawn st ~site ~entry ~ectx ~obj ~kind ~in_loop ~attr_nodes =
   let key =
@@ -98,12 +112,24 @@ let rec reach st ?(via_site = -1) (m : Program.meth) (ctx : Context.t) =
     match Hashtbl.find_opt st.reach_tbl key with
     | Some i -> i
     | None ->
-        let i = { incoming = []; processed = false; origin_allocs = [] } in
+        let i =
+          {
+            incoming = [];
+            incoming_set = Hashtbl.create 4;
+            processed = false;
+            origin_allocs = [];
+          }
+        in
         Hashtbl.add st.reach_tbl key i;
         i
   in
-  let new_site = via_site >= 0 && not (List.mem via_site info.incoming) in
-  if new_site then info.incoming <- via_site :: info.incoming;
+  let new_site =
+    via_site >= 0 && not (Hashtbl.mem info.incoming_set via_site)
+  in
+  if new_site then begin
+    Hashtbl.add info.incoming_set via_site ();
+    info.incoming <- via_site :: info.incoming
+  end;
   if not info.processed then begin
     info.processed <- true;
     process_body st m ctx info m.Program.m_body
@@ -334,9 +360,17 @@ and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
           (match Hashtbl.find_opt st.origin_attr_nodes og_id with
           | Some l ->
               List.iter
-                (fun a -> if not (List.mem a !l) then l := a :: !l)
+                (fun a ->
+                  if not (Hashtbl.mem st.origin_attr_seen (og_id, a)) then begin
+                    Hashtbl.add st.origin_attr_seen (og_id, a) ();
+                    l := a :: !l
+                  end)
                 arg_nodes
-          | None -> Hashtbl.add st.origin_attr_nodes og_id (ref arg_nodes));
+          | None ->
+              List.iter
+                (fun a -> Hashtbl.replace st.origin_attr_seen (og_id, a) ())
+                arg_nodes;
+              Hashtbl.add st.origin_attr_nodes og_id (ref arg_nodes));
           let chain' = Context.truncate k (og_id :: chain) in
           let hctx = Context.Corigin chain' in
           let oid =
@@ -371,11 +405,14 @@ let analyze ?(policy = Context.Korigin 1) ?metrics program =
       pag = Pag.create ();
       reach_tbl = Hashtbl.create 256;
       call_edges = Hashtbl.create 256;
+      call_edge_keys = Hashtbl.create 256;
+      n_call_edges = 0;
       spawn_list = [];
       spawn_keys = Hashtbl.create 64;
       join_list = [];
       origin_reg = OriginIntern.create ();
       origin_attr_nodes = Hashtbl.create 64;
+      origin_attr_seen = Hashtbl.create 64;
       stats = m;
       spawn_arr = [||];
     }
@@ -407,6 +444,7 @@ let analyze ?(policy = Context.Korigin 1) ?metrics program =
   Metrics.set m "pta.objects" (Pag.n_objs st.pag);
   Metrics.set m "pta.edges" (Pag.n_edges st.pag);
   Metrics.set m "pta.reached_methods" (Hashtbl.length st.reach_tbl);
+  Metrics.set m "pta.call_edges" st.n_call_edges;
   Metrics.set m "pta.worklist_iters" (Pag.n_worklist_iters st.pag);
   Metrics.set m "pta.worklist_pushes" (Pag.n_worklist_pushes st.pag);
   Metrics.gauge_set m "pta.worklist_peak" (Pag.worklist_peak st.pag);

@@ -12,6 +12,7 @@ type report = {
   n_pairs_checked : int;
   n_hb_pruned : int;
   n_lock_pruned : int;
+  n_class_pruned : int;
 }
 
 let field_of_target = function
@@ -25,7 +26,361 @@ let dedup_key r =
 let n_races report =
   List.map dedup_key report.races |> List.sort_uniq compare |> List.length
 
-let run_detect g =
+let is_write (n : Graph.node) =
+  match n.Graph.n_kind with Graph.Write _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* origin blocks and equivalence classes *)
+
+(* The hybrid check sees a node of one target group only through its
+   origin's self-parallelism, its canonical lockset id, its access kind,
+   its HB interval ({!Graph.hb_interval}), and the closure relations of
+   its origin. Origins whose relations are indistinguishable inside the
+   group — identical occupied intervals, one shared relation matrix
+   between every ordered pair of them, identical relations toward every
+   other origin of the group — form a *block*: e.g. a farm of worker
+   threads all spawned alike. Nodes are then classed by
+   (block, HB interval, lockset, is-write): one check per class pair
+   decides every member pair, with same-origin member pairs inside a
+   block accounted combinatorially (they are candidates only under
+   self-parallelism, exactly as in the pairwise loop), so the reported
+   races and the total pair accounting stay identical while
+   [n_pairs_checked] drops from O(n²) to O(classes²). *)
+
+type oinfo = {
+  o_id : int;
+  o_self_par : bool;
+  o_ts : int array;  (* sorted distinct t_idx of the origin's group nodes *)
+  o_qs : int array;  (* sorted distinct q_idx of the origin's group nodes *)
+}
+
+type block = {
+  bk_members : oinfo array;  (* insertion (= first-node) order *)
+  bk_self_par : bool;
+}
+
+type cls = {
+  c_nodes : Graph.node array;  (* members, id-ascending *)
+  c_block : int;
+  c_t : int;
+  c_q : int;
+  c_ls : int;
+  c_write : bool;
+  c_by_origin : (int, int) Hashtbl.t;  (* origin -> member count *)
+}
+
+(* per-worker accumulator: merged (and the race list re-sorted) at the end,
+   so the parallel path stays byte-identical to the serial one *)
+type acc = {
+  mutable a_races : race list;
+  mutable a_pairs : int;
+  mutable a_hb : int;
+  mutable a_lock : int;
+  mutable a_cls : int;
+  mutable a_hbq : int;  (* interval-level HB queries issued by this worker *)
+}
+
+let check_group g ~disjoint acc target (ns : Graph.node list) =
+  (* quick origin-sharing filter: skip single-origin or read-only groups *)
+  let origin_seen = Hashtbl.create 8 in
+  let n_origins = ref 0 and first_origin = ref (-1) in
+  List.iter
+    (fun (n : Graph.node) ->
+      if not (Hashtbl.mem origin_seen n.Graph.n_origin) then begin
+        Hashtbl.add origin_seen n.Graph.n_origin ();
+        if !n_origins = 0 then first_origin := n.Graph.n_origin;
+        incr n_origins
+      end)
+    ns;
+  let has_write = List.exists is_write ns in
+  let single_origin_ok =
+    !n_origins = 1 && not (Graph.self_parallel g !first_origin)
+  in
+  if has_write && not single_origin_ok then begin
+    let locks = Graph.locks g in
+    let intervals = Hashtbl.create 64 in
+    let interval n =
+      match Hashtbl.find_opt intervals n.Graph.n_id with
+      | Some tq -> tq
+      | None ->
+          let tq = Graph.hb_interval g n in
+          Hashtbl.add intervals n.Graph.n_id tq;
+          tq
+    in
+    (* per-origin occupancy, first-seen (= id) order *)
+    let by_origin = Hashtbl.create 8 and origin_order = ref [] in
+    List.iter
+      (fun (n : Graph.node) ->
+        match Hashtbl.find_opt by_origin n.Graph.n_origin with
+        | Some l -> l := n :: !l
+        | None ->
+            Hashtbl.add by_origin n.Graph.n_origin (ref [ n ]);
+            origin_order := n.Graph.n_origin :: !origin_order)
+      ns;
+    let oinfos =
+      List.rev_map
+        (fun o ->
+          let members = List.rev !(Hashtbl.find by_origin o) in
+          let distinct proj =
+            List.map proj members |> List.sort_uniq compare |> Array.of_list
+          in
+          {
+            o_id = o;
+            o_self_par = Graph.self_parallel g o;
+            o_ts = distinct (fun n -> fst (interval n));
+            o_qs = distinct (fun n -> snd (interval n));
+          })
+        !origin_order
+      |> List.rev
+    in
+    let hb_state ~src ~t_idx ~dst ~q_idx =
+      acc.a_hbq <- acc.a_hbq + 1;
+      Graph.hb_state g ~src ~t_idx ~dst ~q_idx
+    in
+    (* the full ordered relation table over occupied intervals: rel.(i).(j)
+       is the matrix of hb_state answers from origin i's thresholds to
+       origin j's entry positions *)
+    let oarr = Array.of_list oinfos in
+    let m = Array.length oarr in
+    let rel =
+      Array.init m (fun i ->
+          Array.init m (fun j ->
+              if i = j then [||]
+              else
+                let u = oarr.(i) and v = oarr.(j) in
+                Array.map
+                  (fun t ->
+                    Array.map
+                      (fun q ->
+                        hb_state ~src:u.o_id ~t_idx:t ~dst:v.o_id ~q_idx:q)
+                      v.o_qs)
+                  u.o_ts))
+    in
+    (* [equiv i r]: origins i and r are interchangeable inside this group —
+       same self-parallelism and occupied slots, symmetric relation between
+       the two, and identical relations toward every third origin. The
+       relation is transitive (each third-origin row/column equality chains,
+       and the pairwise entries themselves are pinned by any third member),
+       so testing a candidate against one representative per block suffices *)
+    let equiv i r =
+      let u = oarr.(i) and v = oarr.(r) in
+      u.o_self_par = v.o_self_par
+      && u.o_ts = v.o_ts
+      && u.o_qs = v.o_qs
+      && rel.(i).(r) = rel.(r).(i)
+      &&
+      let ok = ref true in
+      let x = ref 0 in
+      while !ok && !x < m do
+        if !x <> i && !x <> r then
+          ok :=
+            rel.(i).(!x) = rel.(r).(!x) && rel.(!x).(i) = rel.(!x).(r);
+        incr x
+      done;
+      !ok
+    in
+    (* greedy origin blocks, deterministic (first-node order both ways) *)
+    let reps = ref [] and members = Hashtbl.create 8 in
+    for i = 0 to m - 1 do
+      match List.find_opt (fun r -> equiv i r) (List.rev !reps) with
+      | Some r -> Hashtbl.replace members r (i :: Hashtbl.find members r)
+      | None ->
+          reps := i :: !reps;
+          Hashtbl.add members i [ i ]
+    done;
+    let blocks =
+      List.rev !reps
+      |> List.map (fun r ->
+             {
+               bk_members =
+                 List.rev (Hashtbl.find members r)
+                 |> List.map (fun i -> oarr.(i))
+                 |> Array.of_list;
+               bk_self_par = oarr.(r).o_self_par;
+             })
+      |> Array.of_list
+    in
+    let block_of_origin = Hashtbl.create 8 in
+    Array.iteri
+      (fun i blk ->
+        Array.iter (fun o -> Hashtbl.replace block_of_origin o.o_id i)
+          blk.bk_members)
+      blocks;
+    (* node classes, first-member (= id) order *)
+    let cls_tbl = Hashtbl.create 16 and cls_order = ref [] in
+    List.iter
+      (fun (n : Graph.node) ->
+        let t, q = interval n in
+        let key =
+          ( Hashtbl.find block_of_origin n.Graph.n_origin,
+            t,
+            q,
+            n.Graph.n_lockset,
+            is_write n )
+        in
+        match Hashtbl.find_opt cls_tbl key with
+        | Some members -> members := n :: !members
+        | None ->
+            let members = ref [ n ] in
+            Hashtbl.add cls_tbl key members;
+            cls_order := (key, members) :: !cls_order)
+      ns;
+    let classes =
+      List.rev !cls_order
+      |> List.map (fun ((blk, t, q, ls, w), members) ->
+             let c_nodes = Array.of_list (List.rev !members) in
+             let c_by_origin = Hashtbl.create 4 in
+             Array.iter
+               (fun (n : Graph.node) ->
+                 Hashtbl.replace c_by_origin n.Graph.n_origin
+                   (1
+                   + Option.value ~default:0
+                       (Hashtbl.find_opt c_by_origin n.Graph.n_origin)))
+               c_nodes;
+             {
+               c_nodes;
+               c_block = blk;
+               c_t = t;
+               c_q = q;
+               c_ls = ls;
+               c_write = w;
+               c_by_origin;
+             })
+      |> Array.of_list
+    in
+    let k = Array.length classes in
+    (* a write by a self-parallel origin races with the same access in
+       another run-time instance of that origin — unless the access holds a
+       lock, which the other instance would hold too *)
+    Array.iter
+      (fun c ->
+        if
+          c.c_write
+          && blocks.(c.c_block).bk_self_par
+          && c.c_ls = Lockset.empty locks
+        then begin
+          acc.a_pairs <- acc.a_pairs + 1;
+          acc.a_cls <- acc.a_cls + Array.length c.c_nodes - 1;
+          Array.iter
+            (fun a ->
+              acc.a_races <-
+                { r_target = target; r_a = a; r_b = a } :: acc.a_races)
+            c.c_nodes
+        end)
+      classes;
+    for i = 0 to k - 1 do
+      for j = i to k - 1 do
+        let ci = classes.(i) and cj = classes.(j) in
+        if ci.c_write || cj.c_write then begin
+          let same_block = ci.c_block = cj.c_block in
+          let sp_i = blocks.(ci.c_block).bk_self_par
+          and sp_j = blocks.(cj.c_block).bk_self_par in
+          let ni = Array.length ci.c_nodes and nj = Array.length cj.c_nodes in
+          let total = if i = j then ni * (ni - 1) / 2 else ni * nj in
+          (* member pairs drawn from one origin: candidates only under
+             self-parallelism, exactly as in the pairwise loop *)
+          let same_origin_pairs =
+            if not same_block then 0
+            else if i = j then
+              Hashtbl.fold
+                (fun _ c acc -> acc + (c * (c - 1) / 2))
+                ci.c_by_origin 0
+            else
+              Hashtbl.fold
+                (fun o c acc ->
+                  acc
+                  + c
+                    * Option.value ~default:0 (Hashtbl.find_opt cj.c_by_origin o))
+                ci.c_by_origin 0
+          in
+          let candidates =
+            if same_block && not sp_i then total - same_origin_pairs else total
+          in
+          if candidates > 0 then begin
+            acc.a_pairs <- acc.a_pairs + 1;
+            acc.a_cls <- acc.a_cls + candidates - 1;
+            if not (disjoint ci.c_ls cj.c_ls) then
+              acc.a_lock <- acc.a_lock + 1
+            else begin
+              (* HB edges in/out of a self-parallel origin order each
+                 run-time instance only with its own children — the static
+                 graph cannot tell instances apart, so HB pruning is
+                 unsound there and only locksets apply *)
+              let hb_usable = (not sp_i) && not sp_j in
+              let hb_hit =
+                hb_usable
+                &&
+                if same_block then
+                  (* candidates > 0 and no self-parallelism means the block
+                     holds ≥ 2 origins; any ordered pair carries the one
+                     shared relation matrix *)
+                  let mem = blocks.(ci.c_block).bk_members in
+                  Array.length mem >= 2
+                  &&
+                  let u = mem.(0) and v = mem.(1) in
+                  hb_state ~src:u.o_id ~t_idx:ci.c_t ~dst:v.o_id ~q_idx:cj.c_q
+                  || hb_state ~src:u.o_id ~t_idx:cj.c_t ~dst:v.o_id
+                       ~q_idx:ci.c_q
+                else
+                  let u = blocks.(ci.c_block).bk_members.(0)
+                  and v = blocks.(cj.c_block).bk_members.(0) in
+                  hb_state ~src:u.o_id ~t_idx:ci.c_t ~dst:v.o_id ~q_idx:cj.c_q
+                  || hb_state ~src:v.o_id ~t_idx:cj.c_t ~dst:u.o_id
+                       ~q_idx:ci.c_q
+              in
+              if hb_hit then acc.a_hb <- acc.a_hb + 1
+              else begin
+                let skip_same_origin = same_block && not sp_i in
+                let emit (a : Graph.node) (b : Graph.node) =
+                  if
+                    not
+                      (skip_same_origin && a.Graph.n_origin = b.Graph.n_origin)
+                  then
+                    let a, b =
+                      if a.Graph.n_id <= b.Graph.n_id then (a, b) else (b, a)
+                    in
+                    acc.a_races <-
+                      { r_target = target; r_a = a; r_b = b } :: acc.a_races
+                in
+                if i = j then
+                  for x = 0 to ni - 1 do
+                    for y = x + 1 to ni - 1 do
+                      emit ci.c_nodes.(x) ci.c_nodes.(y)
+                    done
+                  done
+                else
+                  Array.iter
+                    (fun a -> Array.iter (emit a) cj.c_nodes)
+                    ci.c_nodes
+              end
+            end
+          end
+        end
+      done
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* Lockset-id disjointness for a worker domain. The canonical disjointness
+   cache inside Lockset.t is a shared mutable Hashtbl, so the parallel path
+   gives each domain a local cache over the read-only interned elements. *)
+let local_disjoint locks =
+  let cache = Hashtbl.create 64 in
+  fun a b ->
+    if a = b then a = Lockset.empty locks
+    else if a = Lockset.empty locks || b = Lockset.empty locks then true
+    else
+      let key = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt cache key with
+      | Some v -> v
+      | None ->
+          let la = Lockset.elements locks a and lb = Lockset.elements locks b in
+          let v = not (List.exists (fun l -> List.mem l lb) la) in
+          Hashtbl.add cache key v;
+          v
+
+let run_detect ?(jobs = 1) g =
   let locks = Graph.locks g in
   (* group access nodes by target *)
   let groups : (Access.target, Graph.node list ref) Hashtbl.t =
@@ -33,95 +388,54 @@ let run_detect g =
   in
   Array.iter
     (fun (n : Graph.node) ->
-      let target =
-        match n.Graph.n_kind with
-        | Graph.Read t | Graph.Write t -> Some t
-        | _ -> None
-      in
-      match target with
-      | None -> ()
-      | Some t -> (
+      match n.Graph.n_kind with
+      | Graph.Read t | Graph.Write t -> (
           match Hashtbl.find_opt groups t with
           | Some l -> l := n :: !l
-          | None -> Hashtbl.add groups t (ref [ n ])))
+          | None -> Hashtbl.add groups t (ref [ n ]))
+      | _ -> ())
     (Graph.accesses g);
-  let n_pairs = ref 0 and n_hb = ref 0 and n_lock = ref 0 in
-  let races = ref [] in
-  let is_write (n : Graph.node) =
-    match n.Graph.n_kind with Graph.Write _ -> true | _ -> false
+  (* accesses arrive id-ascending, so reversing the consed list keeps each
+     group's members id-ascending *)
+  let group_arr =
+    Hashtbl.fold (fun t l acc -> (t, List.rev !l) :: acc) groups []
+    |> Array.of_list
   in
-  Hashtbl.iter
-    (fun target group ->
-      let ns = Array.of_list !group in
-      let len = Array.length ns in
-      (* quick origin-sharing filter: skip single-origin or read-only groups *)
-      let origins =
-        Array.fold_left
-          (fun acc n -> if List.mem n.Graph.n_origin acc then acc else n.Graph.n_origin :: acc)
-          [] ns
+  let detect_slice ~disjoint first step =
+    let acc =
+      { a_races = []; a_pairs = 0; a_hb = 0; a_lock = 0; a_cls = 0; a_hbq = 0 }
+    in
+    let i = ref first in
+    while !i < Array.length group_arr do
+      let target, ns = group_arr.(!i) in
+      check_group g ~disjoint acc target ns;
+      i := !i + step
+    done;
+    acc
+  in
+  let accs =
+    if jobs <= 1 then [ detect_slice ~disjoint:(Lockset.disjoint locks) 0 1 ]
+    else
+      let nd = max 1 (min jobs (Array.length group_arr)) in
+      let domains =
+        Array.init nd (fun d ->
+            Domain.spawn (fun () ->
+                detect_slice ~disjoint:(local_disjoint locks) d nd))
       in
-      let has_write = Array.exists is_write ns in
-      let single_origin_ok =
-        match origins with
-        | [ o ] -> not (Graph.self_parallel g o)
-        | _ -> false
-      in
-      if has_write && not single_origin_ok then
-        for i = 0 to len - 1 do
-          (* a write by a self-parallel origin races with the same access in
-             another run-time instance of that origin — unless the access
-             holds a lock, which the other instance would hold too *)
-          let a = ns.(i) in
-          if
-            is_write a
-            && Graph.self_parallel g a.Graph.n_origin
-            && Lockset.elements locks a.Graph.n_lockset = []
-          then begin
-            incr n_pairs;
-            races := { r_target = target; r_a = a; r_b = a } :: !races
-          end;
-          for j = i + 1 to len - 1 do
-            let a = ns.(i) and b = ns.(j) in
-            if is_write a || is_write b then begin
-              let same_origin = a.Graph.n_origin = b.Graph.n_origin in
-              let candidate =
-                if same_origin then Graph.self_parallel g a.Graph.n_origin
-                else true
-              in
-              if candidate then begin
-                incr n_pairs;
-                (* HB edges in/out of a self-parallel origin order each
-                   run-time instance only with its own children — the static
-                   graph cannot tell instances apart, so HB pruning is
-                   unsound there and only locksets apply *)
-                let hb_usable =
-                  (not (Graph.self_parallel g a.Graph.n_origin))
-                  && not (Graph.self_parallel g b.Graph.n_origin)
-                in
-                if not (Lockset.disjoint locks a.Graph.n_lockset b.Graph.n_lockset)
-                then incr n_lock
-                else if
-                  (not same_origin)
-                  && hb_usable
-                  && (Graph.hb g a b || Graph.hb g b a)
-                then incr n_hb
-                else
-                  let a, b =
-                    if a.Graph.n_id <= b.Graph.n_id then (a, b) else (b, a)
-                  in
-                  races := { r_target = target; r_a = a; r_b = b } :: !races
-              end
-            end
-          done
-        done)
-    groups;
+      Array.to_list (Array.map Domain.join domains)
+  in
+  let sum f = List.fold_left (fun s a -> s + f a) 0 accs in
+  (* workers count their interval-level HB queries locally (the shared
+     atomic would make domains contend on one cache line); flush once *)
+  Graph.note_hb_queries g (sum (fun a -> a.a_hbq));
+  let races = List.concat_map (fun a -> a.a_races) accs in
   let races =
     List.sort
       (fun r1 r2 ->
         compare
           (r1.r_a.Graph.n_id, r1.r_b.Graph.n_id)
           (r2.r_a.Graph.n_id, r2.r_b.Graph.n_id))
-      !races
+      races
   in
   (* deduplicate identical source-site pairs, keeping the first witness *)
   let seen = Hashtbl.create 64 in
@@ -136,20 +450,31 @@ let run_detect g =
         end)
       races
   in
-  { races; n_pairs_checked = !n_pairs; n_hb_pruned = !n_hb; n_lock_pruned = !n_lock }
+  {
+    races;
+    n_pairs_checked = sum (fun a -> a.a_pairs);
+    n_hb_pruned = sum (fun a -> a.a_hb);
+    n_lock_pruned = sum (fun a -> a.a_lock);
+    n_class_pruned = sum (fun a -> a.a_cls);
+  }
 
-let run ?metrics g =
+let run ?metrics ?(jobs = 1) g =
   match metrics with
-  | None -> run_detect g
+  | None -> run_detect ~jobs g
   | Some m ->
-      let report = O2_util.Metrics.span m "race.detect" (fun () -> run_detect g) in
+      let report =
+        O2_util.Metrics.span m "race.detect" (fun () -> run_detect ~jobs g)
+      in
       let open O2_util in
       let locks = Graph.locks g in
       Metrics.set m "race.pairs_checked" report.n_pairs_checked;
       Metrics.set m "race.hb_pruned" report.n_hb_pruned;
       Metrics.set m "race.lock_pruned" report.n_lock_pruned;
+      Metrics.set m "race.class_pruned" report.n_class_pruned;
       Metrics.set m "race.candidates" (List.length report.races);
       Metrics.set m "race.races" (n_races report);
+      Metrics.set m "race.jobs" jobs;
+      Metrics.set m "shb.hb_queries" (Graph.hb_queries g);
       (* the lockset disjointness cache is exercised by detection: snapshot
          its hit rate here (cumulative over all runs on this graph) *)
       Metrics.set m "shb.lockset_cache_hits" (Lockset.cache_hits locks);
@@ -157,8 +482,8 @@ let run ?metrics g =
       report
 
 let analyze ?(policy = Context.Korigin 1) ?(serial_events = true)
-    ?(lock_region = true) ?metrics p =
+    ?(lock_region = true) ?metrics ?jobs p =
   let a = Solver.analyze ~policy ?metrics p in
   let g = Graph.build ~serial_events ~lock_region ?metrics a in
-  let report = run ?metrics g in
+  let report = run ?metrics ?jobs g in
   (a, g, report)

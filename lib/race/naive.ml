@@ -167,6 +167,7 @@ let run g =
     n_pairs_checked = !n_pairs;
     n_hb_pruned = !n_hb;
     n_lock_pruned = !n_lock;
+    n_class_pruned = 0;
   }
 
 let analyze ?(policy = Context.Insensitive) ?(serial_events = true) ?metrics p

@@ -46,9 +46,12 @@ let pp_race a g ppf (r : Detect.race) =
     (pp_access a g) r.Detect.r_b
 
 let summary _a (report : Detect.report) =
-  Printf.sprintf "%d race(s) (%d pairs checked, %d HB-pruned, %d lock-pruned)"
+  Printf.sprintf
+    "%d race(s) (%d pairs checked, %d HB-pruned, %d lock-pruned, %d \
+     class-pruned)"
     (Detect.n_races report) report.Detect.n_pairs_checked
     report.Detect.n_hb_pruned report.Detect.n_lock_pruned
+    report.Detect.n_class_pruned
 
 let pp a g ppf (report : Detect.report) =
   Format.fprintf ppf "@[<v>%s@," (summary a report);
@@ -109,11 +112,11 @@ let json_body a g (report : Detect.report) =
       report.Detect.races
   in
   Printf.sprintf
-    {|"races":[%s],"summary":{"n_races":%d,"pairs_checked":%d,"hb_pruned":%d,"lock_pruned":%d}|}
+    {|"races":[%s],"summary":{"n_races":%d,"pairs_checked":%d,"hb_pruned":%d,"lock_pruned":%d,"class_pruned":%d}|}
     (String.concat "," races)
     (Detect.n_races report)
     report.Detect.n_pairs_checked report.Detect.n_hb_pruned
-    report.Detect.n_lock_pruned
+    report.Detect.n_lock_pruned report.Detect.n_class_pruned
 
 let to_json a g (report : Detect.report) =
   Printf.sprintf "{%s}" (json_body a g report)

@@ -33,6 +33,20 @@ type t = {
   ids : O2_util.Idgen.t;
   serial_events : bool;
   lock_region : bool;
+  (* origin-level HB closure, precomputed once after the edge lists are
+     final. hb_thresholds.(o) holds the sorted node ids of o's outgoing
+     timed edges (spawns + semaphore signals): HB from a node of o depends
+     only on which of those edges lie at/after it, i.e. on the index of the
+     first threshold ≥ the node id. hb_inpos.(o) holds the sorted entry
+     positions of o's incoming edges (join targets + semaphore waits): any
+     position reachable *into* o is either min_int or one of these, so
+     reachability at a node of o depends only on how many of them precede
+     it. hb_closure.(o).(i).(o') is the minimal position reachable in o'
+     starting from threshold interval i of o (max_int = unreachable). *)
+  mutable hb_thresholds : int array array;
+  mutable hb_inpos : int array array;
+  mutable hb_closure : int array array array;
+  hb_queries : int Atomic.t;
 }
 
 let solver g = g.solver
@@ -204,6 +218,140 @@ let build_origin g (sp : Solver.spawn) spawn_index =
   in
   visit sp.Solver.sp_entry sp.Solver.sp_ectx base_ls
 
+(* ------------------------------------------------------------------ *)
+(* origin-level HB closure *)
+
+(* index of the first element ≥ v, i.e. the count of elements < v *)
+let lower_bound (a : int array) v =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let build_hb_closure g =
+  let n = Array.length g.self_par in
+  let in_range o = o >= 0 && o < n in
+  let sp_tmp = Array.make n []
+  and jn_tmp = Array.make n []
+  and sm_tmp = Array.make n [] in
+  List.iter
+    (fun (parent, child, sid) ->
+      if in_range parent then sp_tmp.(parent) <- (sid, child) :: sp_tmp.(parent))
+    g.spawns_e;
+  List.iter
+    (fun (child, parent, jid) ->
+      if in_range child then jn_tmp.(child) <- (parent, jid) :: jn_tmp.(child))
+    g.joins_e;
+  List.iter
+    (fun (so, sid, wo, wid) ->
+      if in_range so then sm_tmp.(so) <- (sid, wo, wid) :: sm_tmp.(so))
+    g.sems_e;
+  let sorted l = Array.of_list (List.sort compare l) in
+  let spawns_by = Array.map sorted sp_tmp
+  and joins_by = Array.map sorted jn_tmp
+  and sems_by = Array.map sorted sm_tmp in
+  g.hb_thresholds <-
+    Array.init n (fun o ->
+        let sids =
+          List.map fst sp_tmp.(o)
+          @ List.map (fun (sid, _, _) -> sid) sm_tmp.(o)
+        in
+        Array.of_list (List.sort_uniq compare sids));
+  g.hb_inpos <-
+    (let acc = Array.make n [] in
+     List.iter
+       (fun (_, parent, jid) ->
+         if in_range parent then acc.(parent) <- jid :: acc.(parent))
+       g.joins_e;
+     List.iter
+       (fun (_, _, wo, wid) ->
+         if in_range wo then acc.(wo) <- wid :: acc.(wo))
+       g.sems_e;
+     Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) acc);
+  (* chaotic-iteration BFS from one normalized state, over indexed edges *)
+  let reach_from o0 p0 =
+    let best = Array.make n max_int in
+    let queue = Queue.create () in
+    best.(o0) <- p0;
+    Queue.push (o0, p0) queue;
+    let push x pos =
+      if in_range x && pos < best.(x) then begin
+        best.(x) <- pos;
+        Queue.push (x, pos) queue
+      end
+    in
+    while not (Queue.is_empty queue) do
+      let x, p = Queue.pop queue in
+      if p <= best.(x) then begin
+        let sp = spawns_by.(x) in
+        let lo = ref 0 and hi = ref (Array.length sp) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if fst sp.(mid) < p then lo := mid + 1 else hi := mid
+        done;
+        for i = !lo to Array.length sp - 1 do
+          push (snd sp.(i)) min_int
+        done;
+        Array.iter (fun (parent, jid) -> push parent jid) joins_by.(x);
+        let sm = sems_by.(x) in
+        let lo = ref 0 and hi = ref (Array.length sm) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          let sid, _, _ = sm.(mid) in
+          if sid < p then lo := mid + 1 else hi := mid
+        done;
+        for i = !lo to Array.length sm - 1 do
+          let _, wo, wid = sm.(i) in
+          push wo wid
+        done
+      end
+    done;
+    best
+  in
+  g.hb_closure <-
+    Array.init n (fun o ->
+        let t = g.hb_thresholds.(o) in
+        Array.init
+          (Array.length t + 1)
+          (fun i ->
+            let p = if i < Array.length t then t.(i) else max_int in
+            reach_from o p))
+
+let hb_interval g (node : node) =
+  (* q counts entry positions ≤ the node id: a join/wait node is ordered
+     after its own incoming edge, so its own position must be included *)
+  ( lower_bound g.hb_thresholds.(node.n_origin) node.n_id,
+    lower_bound g.hb_inpos.(node.n_origin) (node.n_id + 1) )
+
+(* Interval-level happens-before: does a node of [src] in threshold
+   interval [t_idx] happen before a node of [dst] with [q_idx] incoming
+   entry positions behind it? Agrees with [hb] on any pair of nodes with
+   those intervals ([src] ≠ [dst]): the closure value is min_int, max_int,
+   or one of dst's incoming entry positions, so comparing its rank against
+   [q_idx] is the same as comparing it against the node id. *)
+let hb_state g ~src ~t_idx ~dst ~q_idx =
+  let c = g.hb_closure.(src).(t_idx).(dst) in
+  c = min_int || (c <> max_int && lower_bound g.hb_inpos.(dst) c < q_idx)
+
+(* hb_state is pure (no per-call counting — worker domains would contend on
+   the shared counter); batch callers account for their queries here *)
+let note_hb_queries g k = ignore (Atomic.fetch_and_add g.hb_queries k)
+
+let hb_queries g = Atomic.get g.hb_queries
+
+let hb_closure_entries g =
+  Array.fold_left
+    (fun acc per_state ->
+      Array.fold_left
+        (fun acc best ->
+          Array.fold_left
+            (fun acc v -> if v < max_int then acc + 1 else acc)
+            acc best)
+        acc per_state)
+    0 g.hb_closure
+
 let build_graph ~serial_events ~lock_region a =
   let sps = Solver.spawns a in
   let p = Solver.program a in
@@ -241,6 +389,10 @@ let build_graph ~serial_events ~lock_region a =
       ids = O2_util.Idgen.create ();
       serial_events;
       lock_region;
+      hb_thresholds = [||];
+      hb_inpos = [||];
+      hb_closure = [||];
+      hb_queries = Atomic.make 0;
     }
   in
   let spawn_index = Hashtbl.create 16 in
@@ -312,6 +464,7 @@ let build_graph ~serial_events ~lock_region a =
       (List.filter
          (fun n -> match n.n_kind with Read _ | Write _ -> true | _ -> false)
          (Array.to_list all));
+  build_hb_closure g;
   g
 
 let build ?(serial_events = true) ?(lock_region = true) ?metrics a =
@@ -332,16 +485,19 @@ let build ?(serial_events = true) ?(lock_region = true) ?metrics a =
         (List.length g.spawns_e + List.length g.joins_e
        + List.length g.sems_e);
       Metrics.set m "shb.locksets" (Lockset.n_distinct g.locks);
+      Metrics.set m "shb.hb_closure_size" (hb_closure_entries g);
       g
 
 (* ------------------------------------------------------------------ *)
 (* happens-before *)
 
-(* Memoized BFS over (origin, position) states. From a position p in origin
-   X one can follow: a spawn edge of X at node id s ≥ p into the start of
-   the child, or X's join into its parent at node id j (everything in X
-   happens before j in the parent). Intra-origin order is the id order. *)
-let hb g (a : node) (b : node) =
+(* Legacy BFS over (origin, position) states, kept as the test oracle for
+   the precomputed closure (set O2_HB_BFS=1 to route hb through it). From a
+   position p in origin X one can follow: a spawn edge of X at node id
+   s ≥ p into the start of the child, or X's join into its parent at node
+   id j (everything in X happens before j in the parent). Intra-origin
+   order is the id order. *)
+let hb_bfs g (a : node) (b : node) =
   if a.n_origin = b.n_origin then a.n_id < b.n_id
   else begin
     let best = Hashtbl.create 8 in
@@ -374,6 +530,22 @@ let hb g (a : node) (b : node) =
     done;
     !found
   end
+
+let hb_use_bfs_oracle =
+  match Sys.getenv_opt "O2_HB_BFS" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* O(1) happens-before: locate a's threshold interval by binary search,
+   then compare the precomputed minimal reachable position in b's origin
+   against b's id. *)
+let hb g (a : node) (b : node) =
+  Atomic.incr g.hb_queries;
+  if a.n_origin = b.n_origin then a.n_id < b.n_id
+  else if hb_use_bfs_oracle then hb_bfs g a b
+  else
+    let i = lower_bound g.hb_thresholds.(a.n_origin) a.n_id in
+    g.hb_closure.(a.n_origin).(i).(b.n_origin) <= b.n_id
 
 (* ------------------------------------------------------------------ *)
 

@@ -47,7 +47,8 @@ type t
     the ablation benchmark disables it).
     @param metrics observability sink: construction runs inside an
     ["shb.build"] span and records [shb.nodes], [shb.access_nodes],
-    [shb.edges] (spawn + join + semaphore) and [shb.locksets]. *)
+    [shb.edges] (spawn + join + semaphore), [shb.locksets] and
+    [shb.hb_closure_size]. *)
 val build :
   ?serial_events:bool ->
   ?lock_region:bool ->
@@ -87,9 +88,46 @@ val join_edges : t -> (int * int * int) list
 val sem_edges : t -> (int * int * int * int) list
 
 (** [hb g a b] decides statically-must happens-before between two nodes:
-    intra-origin by integer comparison, inter-origin by reachability over
-    spawn/join edges (memoized BFS). *)
+    intra-origin by integer comparison, inter-origin via the origin-level
+    HB closure precomputed at build time — a binary search over [a]'s
+    outgoing-edge thresholds, one table lookup and one integer compare.
+    Setting the environment variable [O2_HB_BFS=1] routes inter-origin
+    queries through the legacy BFS instead (debugging aid). *)
 val hb : t -> node -> node -> bool
+
+(** [hb_bfs g a b] is the legacy memoized-BFS happens-before over the raw
+    spawn/join/semaphore edge lists — the oracle the closure-based {!hb} is
+    property-tested against. *)
+val hb_bfs : t -> node -> node -> bool
+
+(** [hb_interval g n] is [(t_idx, q_idx)]: the index of [n] among its
+    origin's outgoing timed-edge thresholds, and the count of its origin's
+    incoming entry positions at or before [n]. Two nodes of the same origin
+    with equal intervals have identical inter-origin HB behaviour — the key
+    fact behind equivalence-class race checking. *)
+val hb_interval : t -> node -> int * int
+
+(** [hb_state g ~src ~t_idx ~dst ~q_idx] is the interval-level form of
+    {!hb}: for [src ≠ dst] it equals [hb g a b] for every node [a] of
+    [src] in threshold interval [t_idx] and every node [b] of [dst] with
+    [q_idx] incoming entry positions before it. The race engine uses it to
+    compare whole equivalence classes (and origin blocks) at once. Pure —
+    no per-call accounting, so worker domains never contend; batch callers
+    report their query counts with {!note_hb_queries}. *)
+val hb_state : t -> src:int -> t_idx:int -> dst:int -> q_idx:int -> bool
+
+(** [hb_queries g] is the number of HB queries answered so far: {!hb} calls
+    plus counts reported via {!note_hb_queries} (surfaced as
+    [shb.hb_queries]). *)
+val hb_queries : t -> int
+
+(** [note_hb_queries g k] adds [k] interval-level queries ({!hb_state}
+    calls) to the {!hb_queries} counter. Thread-safe. *)
+val note_hb_queries : t -> int -> unit
+
+(** [hb_closure_entries g] counts the finite (reachable) entries of the
+    precomputed closure — the [shb.hb_closure_size] counter. *)
+val hb_closure_entries : t -> int
 
 (** [pp] dumps the per-origin traces (for debugging and the CLI). *)
 val pp : Format.formatter -> t -> unit

@@ -121,14 +121,15 @@ let test_stats_alias () =
 let expected_counters =
   [
     "pta.pointers"; "pta.objects"; "pta.edges"; "pta.reached_methods";
-    "pta.worklist_iters"; "pta.worklist_pushes"; "pta.pts_adds";
-    "pta.pts_facts"; "pta.origins";
+    "pta.call_edges"; "pta.worklist_iters"; "pta.worklist_pushes";
+    "pta.pts_adds"; "pta.pts_facts"; "pta.origins";
     "osa.stmts_scanned"; "osa.accesses"; "osa.locations";
     "osa.shared_locations";
     "shb.nodes"; "shb.access_nodes"; "shb.edges"; "shb.locksets";
     "shb.lockset_cache_hits"; "shb.lockset_cache_misses";
+    "shb.hb_closure_size"; "shb.hb_queries";
     "race.pairs_checked"; "race.hb_pruned"; "race.lock_pruned";
-    "race.candidates"; "race.races";
+    "race.class_pruned"; "race.candidates"; "race.races"; "race.jobs";
     "o2.races"; "o2.origins";
   ]
 

@@ -472,6 +472,44 @@ let test_self_parallel_loop_spawn () =
   check_bool "copies not self-parallel" false
     (Graph.self_parallel gO 1 || Graph.self_parallel gO 2)
 
+(* the closure-based hb must agree with the legacy BFS oracle on every node
+   pair of a randomized graph (and hb_state with both, at the node's
+   intervals) *)
+let prop_hb_closure_matches_bfs =
+  QCheck2.Test.make ~name:"HB closure = BFS oracle" ~count:60
+    ~print:O2_test_helpers.Gen.print_spec O2_test_helpers.Gen.spec_gen
+    (fun spec ->
+      let p = O2_test_helpers.Gen.program_of_spec spec in
+      List.for_all
+        (fun policy ->
+          let a = Solver.analyze ~policy p in
+          let g = Graph.build a in
+          let ns = Graph.nodes g in
+          let len = Array.length ns in
+          let stride = max 1 (len / 60) in
+          let ok = ref true in
+          let i = ref 0 in
+          while !ok && !i < len do
+            let j = ref 0 in
+            while !ok && !j < len do
+              let x = ns.(!i) and y = ns.(!j) in
+              let hb = Graph.hb g x y in
+              ok := hb = Graph.hb_bfs g x y;
+              if !ok && x.Graph.n_origin <> y.Graph.n_origin then begin
+                let t, _ = Graph.hb_interval g x in
+                let _, q = Graph.hb_interval g y in
+                ok :=
+                  Graph.hb_state g ~src:x.Graph.n_origin ~t_idx:t
+                    ~dst:y.Graph.n_origin ~q_idx:q
+                  = hb
+              end;
+              j := !j + stride
+            done;
+            i := !i + stride
+          done;
+          !ok)
+        [ Context.Insensitive; Context.Korigin 1 ])
+
 let () =
   Alcotest.run "shb"
     [
@@ -502,6 +540,7 @@ let () =
           Alcotest.test_case "join edge" `Quick test_hb_join_edge;
           Alcotest.test_case "transitive spawns" `Quick
             test_hb_transitive_spawn_chain;
+          QCheck_alcotest.to_alcotest prop_hb_closure_matches_bfs;
         ] );
       ( "events",
         [ Alcotest.test_case "dispatcher lock" `Quick test_dispatcher_lock ] );

@@ -8,7 +8,8 @@ let required =
     {|"metrics":{"counters":|};
     (* PAG / solver *)
     {|"pta.pointers":|}; {|"pta.objects":|}; {|"pta.edges":|};
-    {|"pta.reached_methods":|}; {|"pta.worklist_iters":|};
+    {|"pta.reached_methods":|}; {|"pta.call_edges":|};
+    {|"pta.worklist_iters":|};
     {|"pta.worklist_pushes":|}; {|"pta.pts_adds":|}; {|"pta.pts_facts":|};
     {|"pta.origins":|};
     (* OSA *)
@@ -18,9 +19,11 @@ let required =
     {|"shb.nodes":|}; {|"shb.access_nodes":|}; {|"shb.edges":|};
     {|"shb.locksets":|}; {|"shb.lockset_cache_hits":|};
     {|"shb.lockset_cache_misses":|};
+    {|"shb.hb_closure_size":|}; {|"shb.hb_queries":|};
     (* detection *)
     {|"race.pairs_checked":|}; {|"race.hb_pruned":|}; {|"race.lock_pruned":|};
-    {|"race.candidates":|}; {|"race.races":|};
+    {|"race.class_pruned":|}; {|"race.candidates":|}; {|"race.races":|};
+    {|"race.jobs":|};
     (* worklist gauge and the stage trace *)
     {|"pta.worklist_peak":{"current":|};
     {|"path":"analyze/pta"|}; {|"path":"analyze/shb"|};
