@@ -22,15 +22,20 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-(* median of [runs] repetitions — timings at this scale are noisy *)
+(* median of [runs] repetitions — timings at this scale are noisy.
+   [runs] must be >= 1; an even [runs] averages the two middle samples
+   (picking the upper-middle one alone biases the estimate upward). *)
 let median_time ?(runs = 5) f =
+  if runs < 1 then invalid_arg "median_time: runs must be >= 1";
   let samples =
     List.init runs (fun _ ->
         let _, dt = time f in
         dt)
     |> List.sort compare
+    |> Array.of_list
   in
-  List.nth samples (runs / 2)
+  if runs mod 2 = 1 then samples.(runs / 2)
+  else (samples.((runs / 2) - 1) +. samples.(runs / 2)) /. 2.0
 
 let policies_all =
   [
@@ -336,7 +341,11 @@ let ablations () =
      { "schema": "bench_o2/v1",
        "runs": [ { "bench": "<workload>", "policy": "O2",
                    "elapsed": <seconds>, "races": <n>,
-                   "metrics": <O2_util.Metrics.to_json> }, ... ] } *)
+                   "metrics": <O2_util.Metrics.to_json> }, ... ] }
+
+   plus one "O2-batch" row per examples/programs corpus file (status and
+   race count through the batch fault boundary), so corpus-level race
+   drift is tracked alongside the synthetic workloads. *)
 let trajectory ?(path = "BENCH_o2.json") () =
   rule "Trajectory — instrumented runs (BENCH_o2.json)";
   let workloads = [ "lusearch"; "memcached"; "zookeeper"; "redis" ] in
@@ -357,6 +366,30 @@ let trajectory ?(path = "BENCH_o2.json") () =
           name r.O2.elapsed (O2.n_races r) (O2_util.Metrics.to_json m))
       workloads
   in
+  let corpus_dir = "examples/programs" in
+  let corpus_runs =
+    if not (Sys.file_exists corpus_dir && Sys.is_directory corpus_dir) then []
+    else
+      match O2_batch.enumerate [ corpus_dir ] with
+      | Error _ | Ok [] -> []
+      | Ok files ->
+          let r = O2_batch.run { O2_batch.default with O2_batch.jobs = 2 } files in
+          pf "%-12s %3d races  %.3fs (%d files, %d failed)\n" "corpus"
+            (O2_batch.total_races r) r.O2_batch.b_elapsed (List.length files)
+            (O2_batch.n_failed r);
+          List.map
+            (fun (e : O2_batch.entry) ->
+              Printf.sprintf
+                {|{"bench":"corpus:%s","policy":"O2-batch","elapsed":%.6f,"races":%d,"status":"%s"}|}
+                (Filename.basename e.O2_batch.e_file)
+                e.O2_batch.e_elapsed e.O2_batch.e_races
+                (match e.O2_batch.e_status with
+                | `Ok -> "ok"
+                | `Error _ -> "error"
+                | `Timeout _ -> "timeout"))
+            r.O2_batch.b_entries
+  in
+  let runs = runs @ corpus_runs in
   let oc = open_out path in
   Printf.fprintf oc {|{"schema":"bench_o2/v1","runs":[%s]}|}
     (String.concat "," runs);

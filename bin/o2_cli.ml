@@ -1,6 +1,8 @@
 (* The o2 command-line driver.
 
    o2 analyze FILE.cir [--policy P] [--naive] [--json] [--stats] ...
+   o2 batch DIR|FILE... [--jobs N] [--deadline S] [--max-steps N] [--cache F]
+                                 corpus run with per-file fault isolation
    o2 osa FILE.cir               origin-sharing report
    o2 shb FILE.cir               dump the SHB graph
    o2 racerd FILE.cir            the syntactic baseline
@@ -19,20 +21,13 @@
 open Cmdliner
 
 let policy_conv =
+  (* one source of truth for spellings and the k >= 1 validation: a
+     non-positive k used to slip through here and silently degrade to a
+     context-insensitive analysis inside Context.truncate *)
   let parse s =
-    match String.lowercase_ascii s with
-    | "0-ctx" | "0ctx" | "insensitive" -> Ok O2_pta.Context.Insensitive
-    | "o2" | "origin" | "1-origin" -> Ok (O2_pta.Context.Korigin 1)
-    | s -> (
-        let bad = Error (`Msg ("bad policy: " ^ s)) in
-        match String.split_on_char '-' s with
-        | [ k; kind ] -> (
-            match (int_of_string_opt k, kind) with
-            | Some k, "cfa" -> Ok (O2_pta.Context.Kcfa k)
-            | Some k, "obj" -> Ok (O2_pta.Context.Kobj k)
-            | Some k, "origin" -> Ok (O2_pta.Context.Korigin k)
-            | _ -> bad)
-        | _ -> bad)
+    match O2_pta.Context.policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf p =
     Format.pp_print_string ppf (O2_pta.Context.policy_name p)
@@ -71,6 +66,10 @@ let handle_errors f =
       exit 1
   | O2_ir.Program.Ill_formed msg ->
       Printf.eprintf "ill-formed program: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      (* e.g. an unreadable file that passed Cmdliner's existence check *)
+      Printf.eprintf "error: %s\n" msg;
       exit 1
 
 (* ---- analyze ---- *)
@@ -132,6 +131,7 @@ let analyze_cmd =
           lock_region = not no_region;
           metrics;
           jobs;
+          budget = None;
         }
       in
       let r = O2.run cfg p in
@@ -143,6 +143,116 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ policy_arg $ serial_arg $ naive $ no_region
       $ json $ stats $ jobs)
+
+(* ---- batch ---- *)
+
+let batch_cmd =
+  let paths =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "CIR files and/or directories (a directory contributes its \
+             $(b,.cir) files, non-recursively).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Analyze up to $(docv) files concurrently on worker domains. \
+             Per-file detection stays serial, so per-file reports are \
+             byte-identical to serial $(b,o2 analyze) runs and the \
+             aggregate report is deterministic for any $(docv).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the aggregate report (and the embedded per-file reports) \
+             as JSON (schema $(b,o2_batch/v1)).")
+  in
+  let per_file =
+    Arg.(
+      value & flag
+      & info [ "per-file" ]
+          ~doc:
+            "In text mode, print every successful file's full race report \
+             (exactly the serial $(b,o2 analyze) output) before the \
+             aggregate table.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-file wall-clock budget. A file that exceeds it is reported \
+             as a $(b,timeout) entry; the rest of the corpus still runs.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Per-file ceiling on pointer-analysis worklist steps; exceeding \
+             it yields a $(b,timeout) entry.")
+  in
+  let cache =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "On-disk result cache. Files whose source digest and analysis \
+             configuration match a cached result are served from it \
+             (reported as $(b,cached)) without re-analysis.")
+  in
+  let run paths policy no_serial jobs json per_file deadline max_steps cache =
+    let cfg =
+      {
+        O2_batch.default with
+        O2_batch.policy;
+        serial_events = not no_serial;
+        jobs;
+        format = (if json then `Json else `Text);
+        wall = deadline;
+        max_steps;
+        cache_file = cache;
+      }
+    in
+    match O2_batch.enumerate paths with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok [] ->
+        Printf.eprintf "error: no .cir files found under the given paths\n";
+        exit 2
+    | Ok files ->
+        let report = O2_batch.run cfg files in
+        print_string (O2_batch.render ~per_file report);
+        exit (O2_batch.exit_code report)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze a corpus of CIR files with per-file fault isolation and \
+          resource budgets"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Every file runs inside a fault boundary: parse/lexical \
+              errors, ill-formed programs, uncaught analysis exceptions \
+              and exhausted budgets each produce a structured per-file \
+              failure entry instead of aborting the corpus run.";
+           `S "EXIT STATUS";
+           `P "0 when every file analyzed successfully;";
+           `P "1 when at least one file failed or exceeded its budget;";
+           `P "2 on usage errors (no files found, unreadable path).";
+         ])
+    Term.(
+      const run $ paths $ policy_arg $ serial_arg $ jobs $ json $ per_file
+      $ deadline $ max_steps $ cache)
 
 (* ---- osa ---- *)
 
@@ -529,7 +639,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; osa_cmd; shb_cmd; racerd_cmd; deadlock_cmd;
-            oversync_cmd; pts_cmd; dot_cmd; origins_cmd; diff_cmd;
-            android_cmd; run_cmd; explore_cmd; dump_cmd; model_cmd;
+            analyze_cmd; batch_cmd; osa_cmd; shb_cmd; racerd_cmd;
+            deadlock_cmd; oversync_cmd; pts_cmd; dot_cmd; origins_cmd;
+            diff_cmd; android_cmd; run_cmd; explore_cmd; dump_cmd; model_cmd;
           ]))

@@ -5,6 +5,7 @@ module Config = struct
     lock_region : bool;
     metrics : O2_util.Metrics.t option;
     jobs : int;
+    budget : O2_util.Budget.t option;
   }
 
   let default =
@@ -14,6 +15,7 @@ module Config = struct
       lock_region = true;
       metrics = None;
       jobs = 1;
+      budget = None;
     }
 
   let with_metrics cfg = { cfg with metrics = Some (O2_util.Metrics.create ()) }
@@ -34,21 +36,34 @@ let run (cfg : Config.t) p =
   let sp name f =
     match m with None -> f () | Some mm -> O2_util.Metrics.span mm name f
   in
+  (* the budget's step ceiling lives inside the PTA worklist; the deadline
+     is additionally re-checked between stages so a pipeline whose PTA
+     finished under the wire still stops before burning unbounded time in
+     SHB construction or detection *)
+  let deadline_gate () =
+    match cfg.Config.budget with
+    | None -> ()
+    | Some b -> O2_util.Budget.check b ~steps:0
+  in
   let solver, graph, report, osa =
     sp "analyze" (fun () ->
         let solver =
           sp "pta" (fun () ->
-              O2_pta.Solver.analyze ~policy:cfg.Config.policy ?metrics:m p)
+              O2_pta.Solver.analyze ~policy:cfg.Config.policy ?metrics:m
+                ?budget:cfg.Config.budget p)
         in
+        deadline_gate ();
         let graph =
           sp "shb" (fun () ->
               O2_shb.Graph.build ~serial_events:cfg.Config.serial_events
                 ~lock_region:cfg.Config.lock_region ?metrics:m solver)
         in
+        deadline_gate ();
         let report =
           sp "race" (fun () ->
               O2_race.Detect.run ?metrics:m ~jobs:cfg.Config.jobs graph)
         in
+        deadline_gate ();
         let osa = sp "osa" (fun () -> O2_osa.Osa.run ?metrics:m solver) in
         (solver, graph, report, osa))
   in
@@ -62,7 +77,16 @@ let run (cfg : Config.t) p =
 
 let analyze ?(policy = O2_pta.Context.Korigin 1) ?(serial_events = true)
     ?(lock_region = true) p =
-  run { Config.policy; serial_events; lock_region; metrics = None; jobs = 1 } p
+  run
+    {
+      Config.policy;
+      serial_events;
+      lock_region;
+      metrics = None;
+      jobs = 1;
+      budget = None;
+    }
+    p
 
 let render ?format r =
   O2_race.Report.render ?format ?metrics:r.config.Config.metrics

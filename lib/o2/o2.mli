@@ -39,6 +39,12 @@ module Config : sig
         (** worker domains for race detection (default 1 = serial; requires
             OCaml 5). The parallel output is byte-identical to serial —
             per-domain accumulators are merged and sorted at the end. *)
+    budget : O2_util.Budget.t option;
+        (** resource budget: the PTA worklist checks it every step, and the
+            wall-clock deadline is re-checked between pipeline stages.
+            {!run} lets {!O2_util.Budget.Exhausted} escape; the batch
+            driver maps it to a structured timeout entry. [None] (default)
+            costs nothing. *)
   }
 
   (** The paper's defaults: 1-origin OPA, serialized events, lock-region
@@ -61,7 +67,9 @@ type result = {
 (** [run cfg p] runs the full O2 pipeline under [cfg]: OPA → SHB → race
     detection → OSA. When [cfg.metrics] is set, each stage runs inside a
     trace span ([analyze/pta], [analyze/shb], [analyze/race],
-    [analyze/osa]) and records its counters into the sink. *)
+    [analyze/osa]) and records its counters into the sink.
+
+    @raise O2_util.Budget.Exhausted when [cfg.budget] runs out. *)
 val run : Config.t -> Program.t -> result
 
 (** [analyze p] is the legacy optional-argument entry point, equivalent to

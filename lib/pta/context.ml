@@ -43,7 +43,39 @@ let policy_name = function
   | Korigin 1 -> "O2"
   | Korigin k -> Printf.sprintf "%d-origin" k
 
-let entry = function
+(* A k-limited policy with k < 1 would silently truncate every context to
+   [] and masquerade as 0-ctx; reject it loudly instead. *)
+let validate_policy p =
+  match p with
+  | (Kcfa k | Kobj k | Korigin k) when k < 1 ->
+      invalid_arg
+        (Printf.sprintf "Context: non-positive k in policy %s" (policy_name p))
+  | _ -> ()
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "0-ctx" | "0ctx" | "insensitive" -> Ok Insensitive
+  | "o2" | "origin" | "1-origin" -> Ok (Korigin 1)
+  | s -> (
+      let bad = Error ("bad policy: " ^ s) in
+      match String.split_on_char '-' s with
+      | [ k; kind ] -> (
+          match (int_of_string_opt k, kind) with
+          | Some k, ("cfa" | "obj" | "origin") when k < 1 ->
+              Error
+                (Printf.sprintf
+                   "bad policy: %s (k must be >= 1; use 0-ctx for the \
+                    context-insensitive analysis)"
+                   s)
+          | Some k, "cfa" -> Ok (Kcfa k)
+          | Some k, "obj" -> Ok (Kobj k)
+          | Some k, "origin" -> Ok (Korigin k)
+          | _ -> bad)
+      | _ -> bad)
+
+let entry policy =
+  validate_policy policy;
+  match policy with
   | Insensitive -> Cempty
   | Kcfa _ -> Ccall []
   | Kobj _ -> Cobj []

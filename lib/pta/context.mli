@@ -45,8 +45,24 @@ type policy = Insensitive | Kcfa of int | Kobj of int | Korigin of int
 
 val policy_name : policy -> string
 
+(** [validate_policy p] rejects k-limited policies with [k < 1] — they
+    would silently truncate every context to the empty chain and
+    masquerade as 0-ctx.
+
+    @raise Invalid_argument on [Kcfa k], [Kobj k] or [Korigin k] with
+    [k < 1]. *)
+val validate_policy : policy -> unit
+
+(** [policy_of_string s] parses every CLI spelling: ["0-ctx"], ["0ctx"],
+    ["insensitive"], ["o2"], ["origin"], ["1-origin"], [k-cfa], [k-obj],
+    [k-origin] (case-insensitive). Non-positive [k] and unknown spellings
+    yield [Error msg]. *)
+val policy_of_string : string -> (policy, string) result
+
 (** [entry policy] is the context of the program's [main]. For [Korigin] the
-    chain contains the main origin's id 0. *)
+    chain contains the main origin's id 0.
+
+    @raise Invalid_argument on an invalid policy (see {!validate_policy}). *)
 val entry : policy -> t
 
 (** [truncate k xs] keeps the first [k] elements. *)

@@ -113,7 +113,8 @@ let add_watcher g n f =
   | None -> Hashtbl.add g.watchers n (ref [ f ]));
   Bitset.iter f g.pts.(n)
 
-let solve g =
+let solve ?check g =
+  let check = match check with Some f -> f | None -> fun _ -> () in
   let rec loop () =
     match g.worklist with
     | [] -> ()
@@ -121,6 +122,7 @@ let solve g =
         g.worklist <- rest;
         g.wl_len <- g.wl_len - 1;
         g.n_wl_iters <- g.n_wl_iters + 1;
+        check g.n_wl_iters;
         (* copy propagation *)
         (match Hashtbl.find_opt g.succs n with
         | Some l ->

@@ -61,9 +61,12 @@ val add_copy : t -> src:int -> dst:int -> unit
     now and in the future. Watchers may add edges, objects and watchers. *)
 val add_watcher : t -> int -> (int -> unit) -> unit
 
-(** [solve g] drains the worklist to fixpoint. Reentrant: may be called
-    again after adding more constraints. *)
-val solve : t -> unit
+(** [solve ?check g] drains the worklist to fixpoint. Reentrant: may be
+    called again after adding more constraints. [check] (if given) runs
+    once per worklist pop with the cumulative iteration count; it may
+    raise to abandon the solve — how {!O2_util.Budget} ceilings are
+    enforced. *)
+val solve : ?check:(int -> unit) -> t -> unit
 
 (** [iter_nodes f g] applies [f id node pts] to every node. *)
 val iter_nodes : (int -> node -> O2_util.Bitset.t -> unit) -> t -> unit

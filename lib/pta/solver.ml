@@ -396,8 +396,14 @@ and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
 
 (* ----------------------------------------------------------------------- *)
 
-let analyze ?(policy = Context.Korigin 1) ?metrics program =
+let analyze ?(policy = Context.Korigin 1) ?metrics ?budget program =
   let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let check =
+    match budget with
+    | None -> None
+    | Some b when Budget.is_unlimited b -> None
+    | Some b -> Some (fun steps -> Budget.check b ~steps)
+  in
   let st =
     {
       program;
@@ -424,9 +430,9 @@ let analyze ?(policy = Context.Korigin 1) ?metrics program =
   let ectx = Context.entry policy in
   Metrics.span m "pta.solve" (fun () ->
       reach st main ectx;
-      Pag.solve st.pag;
+      Pag.solve ?check st.pag;
       (* watchers added during solving may have queued more work *)
-      Pag.solve st.pag);
+      Pag.solve ?check st.pag);
   record_spawn st ~site:(-1) ~entry:main ~ectx ~obj:(-1) ~kind:`Main
     ~in_loop:false ~attr_nodes:[];
   let sps =

@@ -49,15 +49,30 @@ type t
 
 exception Analysis_error of string
 
-(** [analyze ?policy ?metrics p] runs the whole-program analysis from
-    [main]. Default policy is [Korigin 1] (the paper's O2 configuration).
+(** [analyze ?policy ?metrics ?budget p] runs the whole-program analysis
+    from [main]. Default policy is [Korigin 1] (the paper's O2
+    configuration).
 
     When [metrics] is given it is used as the observability sink: the solve
     is wrapped in a ["pta.solve"] span and the Table 6 counters
     ([pta.pointers], [pta.objects], [pta.edges], [pta.worklist_iters],
     [pta.pts_facts], [pta.origins], …) are recorded into it; otherwise a
-    private sink (readable via {!stats}) collects the same numbers. *)
-val analyze : ?policy:Context.policy -> ?metrics:O2_util.Metrics.t -> Program.t -> t
+    private sink (readable via {!stats}) collects the same numbers.
+
+    When [budget] is given, the worklist loop checks it on every pop and
+    lets {!O2_util.Budget.Exhausted} escape when the wall-clock deadline
+    or the worklist-step ceiling is passed — callers (the batch driver)
+    turn that into a structured timeout entry.
+
+    @raise Invalid_argument on a k-limited policy with [k < 1]
+    (see {!Context.validate_policy}).
+    @raise O2_util.Budget.Exhausted when [budget] runs out mid-solve. *)
+val analyze :
+  ?policy:Context.policy ->
+  ?metrics:O2_util.Metrics.t ->
+  ?budget:O2_util.Budget.t ->
+  Program.t ->
+  t
 
 val program : t -> Program.t
 val policy : t -> Context.policy

@@ -133,6 +133,22 @@ let span t name f =
 let spans t =
   List.sort (fun a b -> compare a.sp_seq b.sp_seq) t.span_list
 
+(* ---- merge ---- *)
+
+let merge ~into src =
+  Hashtbl.iter (fun k r -> add into k !r) src.counters;
+  Hashtbl.iter
+    (fun k r ->
+      let dst = timer into k in
+      dst := !dst +. !r)
+    src.timers;
+  Hashtbl.iter
+    (fun k g ->
+      let dst = gauge into k in
+      dst.g_cur <- dst.g_cur + g.g_cur;
+      if g.g_peak > dst.g_peak then dst.g_peak <- g.g_peak)
+    src.gauges
+
 (* ---- export ---- *)
 
 let json_escape s =

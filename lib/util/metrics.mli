@@ -91,6 +91,15 @@ val span : t -> string -> (unit -> 'a) -> 'a
 (** [spans t] lists all regions in start order. *)
 val spans : t -> span list
 
+(** {1 Merging} *)
+
+(** [merge ~into src] folds [src] into [into]: counters and timers are
+    summed, gauge levels summed with the higher peak kept. Spans are not
+    transferred — they are wall-clock regions of one sink's own timeline.
+    Used by the batch driver to aggregate per-file sinks into corpus
+    totals. *)
+val merge : into:t -> t -> unit
+
 (** {1 Export} *)
 
 (** [to_json t] is one JSON object:

@@ -326,6 +326,80 @@ let test_json_escaping () =
   check_bool "backslash escaped" true (contains json "\\\\name")
 
 
+(* ---------------- policy parsing ---------------- *)
+
+let test_policy_spellings () =
+  List.iter
+    (fun (s, expected) ->
+      match Context.policy_of_string s with
+      | Ok p ->
+          check_bool (Printf.sprintf "%S parses as %s" s (Context.policy_name p))
+            true (p = expected)
+      | Error e -> Alcotest.fail (Printf.sprintf "%S rejected: %s" s e))
+    [
+      ("0-ctx", Context.Insensitive);
+      ("0ctx", Context.Insensitive);
+      ("insensitive", Context.Insensitive);
+      ("INSENSITIVE", Context.Insensitive);
+      ("o2", Context.Korigin 1);
+      ("O2", Context.Korigin 1);
+      ("origin", Context.Korigin 1);
+      ("1-origin", Context.Korigin 1);
+      ("2-origin", Context.Korigin 2);
+      ("1-cfa", Context.Kcfa 1);
+      ("2-CFA", Context.Kcfa 2);
+      ("1-obj", Context.Kobj 1);
+      ("3-obj", Context.Kobj 3);
+    ]
+
+let test_policy_round_trip () =
+  List.iter
+    (fun p ->
+      let name = Context.policy_name p in
+      match Context.policy_of_string name with
+      | Ok p' -> check_bool (name ^ " round-trips") true (p = p')
+      | Error e -> Alcotest.fail (Printf.sprintf "%s rejected: %s" name e))
+    [
+      Context.Insensitive;
+      Context.Korigin 1;
+      Context.Korigin 2;
+      Context.Kcfa 1;
+      Context.Kcfa 2;
+      Context.Kobj 1;
+      Context.Kobj 2;
+    ]
+
+let test_policy_rejections () =
+  List.iter
+    (fun s ->
+      match Context.policy_of_string s with
+      | Error msg -> check_bool (s ^ " error is non-empty") true (msg <> "")
+      | Ok p ->
+          Alcotest.fail
+            (Printf.sprintf "%S wrongly accepted as %s" s (Context.policy_name p)))
+    [ "0-origin"; "0-cfa"; "0-obj"; "-1-cfa"; "-2-origin"; "x-origin"; "garbage"; "" ];
+  (* the k >= 1 rejection points at the insensitive spelling instead *)
+  (match Context.policy_of_string "0-origin" with
+  | Error msg -> check_bool "mentions 0-ctx" true (contains msg "0-ctx")
+  | Ok _ -> Alcotest.fail "0-origin wrongly accepted")
+
+let test_policy_entry_validation () =
+  (* a non-positive k can still be constructed programmatically; entry and
+     the solver must reject it instead of silently degrading *)
+  List.iter
+    (fun p ->
+      (match Context.entry p with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "Context.entry accepted non-positive k");
+      match Solver.analyze ~policy:p (entry_prog "Thread" "run") with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "Solver.analyze accepted non-positive k")
+    [ Context.Korigin 0; Context.Kcfa 0; Context.Kobj (-1) ];
+  (* valid policies still build an entry context *)
+  List.iter
+    (fun p -> ignore (Context.entry p))
+    [ Context.Insensitive; Context.Korigin 1; Context.Kcfa 2; Context.Kobj 1 ]
+
 (* ---------------- external calls (section 4.3) ---------------- *)
 
 let test_external_call_anonymous_object () =
@@ -421,6 +495,14 @@ let () =
             test_external_call_anonymous_object;
           Alcotest.test_case "internal unresolved" `Quick
             test_internal_unresolved_no_anon;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "spellings" `Quick test_policy_spellings;
+          Alcotest.test_case "round-trip" `Quick test_policy_round_trip;
+          Alcotest.test_case "rejections" `Quick test_policy_rejections;
+          Alcotest.test_case "entry validation" `Quick
+            test_policy_entry_validation;
         ] );
       ( "json",
         [
