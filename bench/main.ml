@@ -158,7 +158,7 @@ let table6 () =
       List.iter
         (fun (name, pol) ->
           let a, dt = analyze_time pol p in
-          let s = Solver.stats a in
+          let s = a.Solver.stats in
           pf "%-11s %-8s %10d %10d %10d   (%.3fs)\n" spec.s_name name
             (O2_util.Metrics.get s "pta.pointers")
             (O2_util.Metrics.get s "pta.objects")
@@ -345,10 +345,52 @@ let ablations () =
 
    plus one "O2-batch" row per examples/programs corpus file (status and
    race count through the batch fault boundary), so corpus-level race
-   drift is tracked alongside the synthetic workloads. *)
+   drift is tracked alongside the synthetic workloads,
+
+   plus one "pta:<workload>" row per workload pitting the round/delta
+   engine against the frozen serial reference solver (Oracle): the
+   oracle's median solve time, the engine's at jobs=1 and jobs=4, the
+   resulting speedup, the engine's worklist/SCC counters, and a
+   fingerprint-equality bit. CI gates on these rows: counters must match
+   the committed run exactly, facts_equal must hold, and the zookeeper
+   speedup has a floor. *)
 let trajectory ?(path = "BENCH_o2.json") () =
   rule "Trajectory — instrumented runs (BENCH_o2.json)";
   let workloads = [ "lusearch"; "memcached"; "zookeeper"; "redis" ] in
+  let pta_runs =
+    List.map
+      (fun name ->
+        let p = O2_workloads.Synth.program (O2_workloads.Synth.find name) in
+        let oracle_dt =
+          median_time ~runs:5 (fun () -> ignore (Oracle.analyze p))
+        in
+        let serial_dt =
+          median_time ~runs:5 (fun () -> ignore (Solver.analyze ~jobs:1 p))
+        in
+        let par_dt =
+          median_time ~runs:5 (fun () -> ignore (Solver.analyze ~jobs:4 p))
+        in
+        let r = Solver.analyze ~jobs:4 p in
+        let m = r.Solver.stats in
+        let facts_equal =
+          Solver.fingerprint r = Oracle.fingerprint (Oracle.analyze p)
+        in
+        let speedup = oracle_dt /. max 1e-9 par_dt in
+        pf
+          "pta:%-9s oracle %.4fs  jobs=1 %.4fs  jobs=4 %.4fs  %.2fx  \
+           iters %d  scc %d  facts %s\n"
+          name oracle_dt serial_dt par_dt speedup
+          (O2_util.Metrics.get m "pta.worklist_iters")
+          (O2_util.Metrics.get m "pta.scc_collapsed")
+          (if facts_equal then "equal" else "DIFFER");
+        Printf.sprintf
+          {|{"bench":"pta:%s","policy":"O2","oracle_ms":%.3f,"jobs1_ms":%.3f,"par_ms":%.3f,"speedup":%.2f,"worklist_iters":%d,"scc_collapsed":%d,"facts_equal":%b}|}
+          name (oracle_dt *. 1e3) (serial_dt *. 1e3) (par_dt *. 1e3) speedup
+          (O2_util.Metrics.get m "pta.worklist_iters")
+          (O2_util.Metrics.get m "pta.scc_collapsed")
+          facts_equal)
+      workloads
+  in
   let runs =
     List.map
       (fun name ->
@@ -389,7 +431,7 @@ let trajectory ?(path = "BENCH_o2.json") () =
                 | `Timeout _ -> "timeout"))
             r.O2_batch.b_entries
   in
-  let runs = runs @ corpus_runs in
+  let runs = runs @ pta_runs @ corpus_runs in
   let oc = open_out path in
   Printf.fprintf oc {|{"schema":"bench_o2/v1","runs":[%s]}|}
     (String.concat "," runs);

@@ -34,6 +34,41 @@ let policy_conv =
   in
   Arg.conv (parse, print)
 
+let jobs_conv =
+  (* shared by analyze and batch: the same validation story as
+     [policy_conv] — a non-positive count is a usage error at the CLI
+     boundary, not something to patch up downstream *)
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "jobs must be >= 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a worker count, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let entry_conv =
+  let parse s =
+    match O2_frontend.Parser.entry_of_string s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (O2_frontend.Parser.entry_name e)
+  in
+  Arg.conv (parse, print)
+
+let entry_arg =
+  Arg.(
+    value
+    & opt entry_conv O2_frontend.Parser.Auto
+    & info [ "entry" ] ~docv:"ENTRY"
+        ~doc:
+          "Entry-point selection: $(b,auto) (default: a program whose first \
+           token is $(b,main) runs from it, anything else gets the Android \
+           lifecycle harness), $(b,main) (require a main program), \
+           $(b,android) or $(b,android:)$(i,CLASS) (force the harness, \
+           optionally naming the main activity).")
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CIR source file")
 
@@ -54,7 +89,7 @@ let serial_arg =
           "Do not serialize event handlers under the implicit dispatcher \
            lock (§4.2 treats Android events as dispatched by one thread).")
 
-let load file = O2_frontend.Parser.parse_file file
+let load ?entry file = O2_frontend.Parser.parse_file ?entry file
 
 let handle_errors f =
   try f () with
@@ -66,6 +101,9 @@ let handle_errors f =
       exit 1
   | O2_ir.Program.Ill_formed msg ->
       Printf.eprintf "ill-formed program: %s\n" msg;
+      exit 1
+  | O2_ir.Harness.No_activity msg ->
+      Printf.eprintf "harness error: %s\n" msg;
       exit 1
   | Sys_error msg ->
       (* e.g. an unreadable file that passed Cmdliner's existence check *)
@@ -102,16 +140,18 @@ let analyze_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value & opt jobs_conv 1
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Fan the per-target race checks across $(docv) worker domains \
-             (default 1 = serial). Output is byte-identical to a serial \
-             run. Ignored by $(b,--naive).")
+            "Run the pipeline on $(docv) worker domains (default 1 = \
+             serial): the pointer-analysis worklist is sharded $(docv) \
+             ways by origin and the per-target race checks fan out over \
+             the same domains. Output is byte-identical to a serial run. \
+             Ignored by $(b,--naive).")
   in
-  let run file policy no_serial naive no_region json stats jobs =
+  let run file entry policy no_serial naive no_region json stats jobs =
     handle_errors @@ fun () ->
-    let p = load file in
+    let p = load ~entry file in
     let serial_events = not no_serial in
     let format = if json then `Json else `Text in
     let metrics = if stats then Some (O2_util.Metrics.create ()) else None in
@@ -141,8 +181,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Detect data races in a CIR program")
     Term.(
-      const run $ file_arg $ policy_arg $ serial_arg $ naive $ no_region
-      $ json $ stats $ jobs)
+      const run $ file_arg $ entry_arg $ policy_arg $ serial_arg $ naive
+      $ no_region $ json $ stats $ jobs)
 
 (* ---- batch ---- *)
 
@@ -157,7 +197,7 @@ let batch_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value & opt jobs_conv 1
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
             "Analyze up to $(docv) files concurrently on worker domains. \
@@ -207,11 +247,13 @@ let batch_cmd =
              configuration match a cached result are served from it \
              (reported as $(b,cached)) without re-analysis.")
   in
-  let run paths policy no_serial jobs json per_file deadline max_steps cache =
+  let run paths entry policy no_serial jobs json per_file deadline max_steps
+      cache =
     let cfg =
       {
         O2_batch.default with
         O2_batch.policy;
+        entry;
         serial_events = not no_serial;
         jobs;
         format = (if json then `Json else `Text);
@@ -251,8 +293,8 @@ let batch_cmd =
            `P "2 on usage errors (no files found, unreadable path).";
          ])
     Term.(
-      const run $ paths $ policy_arg $ serial_arg $ jobs $ json $ per_file
-      $ deadline $ max_steps $ cache)
+      const run $ paths $ entry_arg $ policy_arg $ serial_arg $ jobs $ json
+      $ per_file $ deadline $ max_steps $ cache)
 
 (* ---- osa ---- *)
 
@@ -401,7 +443,7 @@ let origins_cmd =
     handle_errors @@ fun () ->
     let p = load file in
     let a = O2_pta.Solver.analyze ~policy p in
-    let pag = O2_pta.Solver.pag a in
+    let pag = a.O2_pta.Solver.pag in
     Format.printf "%d origin(s) beside main:@." (O2_pta.Solver.n_origins a);
     Array.iteri
       (fun i og ->
@@ -424,7 +466,7 @@ let origins_cmd =
         if sp.sp_kind <> `Main then
           Format.printf "  spawn: %s@."
             (O2_race.Report.origin_name a sp.sp_id))
-      (O2_pta.Solver.spawns a)
+      (a.O2_pta.Solver.spawns)
   in
   Cmd.v
     (Cmd.info "origins"

@@ -19,7 +19,7 @@ let () =
     m.expected_races (O2.pp_report r) ();
 
   (* origin-local vs origin-shared breakdown *)
-  let sps = O2_pta.Solver.spawns r.O2.solver in
+  let sps = r.O2.solver.O2_pta.Solver.spawns in
   Format.printf "=== per-origin locality (§5.4 kernel numbers) ===@.";
   Array.iter
     (fun (sp : O2_pta.Solver.spawn) ->

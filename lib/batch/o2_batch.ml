@@ -26,6 +26,7 @@ type config = {
   policy : O2_pta.Context.policy;
   serial_events : bool;
   lock_region : bool;
+  entry : O2_frontend.Parser.entry;
   jobs : int;
   format : [ `Text | `Json ];
   wall : float option;
@@ -38,6 +39,7 @@ let default =
     policy = O2_pta.Context.Korigin 1;
     serial_events = true;
     lock_region = true;
+    entry = O2_frontend.Parser.Auto;
     jobs = 1;
     format = `Text;
     wall = None;
@@ -80,9 +82,10 @@ type cached = {
 type cache_tbl = (string, cached) Hashtbl.t
 
 let cache_key cfg digest =
-  Printf.sprintf "%s|%s|%b|%b|%s" digest
+  Printf.sprintf "%s|%s|%b|%b|%s|%s" digest
     (O2_pta.Context.policy_name cfg.policy)
     cfg.serial_events cfg.lock_region
+    (O2_frontend.Parser.entry_name cfg.entry)
     (match cfg.format with `Text -> "text" | `Json -> "json")
 
 let load_cache = function
@@ -152,7 +155,7 @@ let analyze_one cfg (cache : cache_tbl) file =
       }
   | None -> (
       try
-        let p = O2_frontend.Parser.parse_file file in
+        let p = O2_frontend.Parser.parse_file ~entry:cfg.entry file in
         let budget =
           match (cfg.wall, cfg.max_steps) with
           | None, None -> None
@@ -201,6 +204,8 @@ let analyze_one cfg (cache : cache_tbl) file =
           fail (`Error (Printf.sprintf "lexical error at line %d: %s" line msg))
       | O2_ir.Program.Ill_formed msg ->
           fail (`Error ("ill-formed program: " ^ msg))
+      | O2_ir.Harness.No_activity msg ->
+          fail (`Error ("no activity class: " ^ msg))
       | Budget.Exhausted reason -> fail (`Timeout (Budget.reason_to_string reason))
       | Sys_error msg -> fail (`Error msg)
       | Invalid_argument msg -> fail (`Error msg)

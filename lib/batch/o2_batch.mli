@@ -48,6 +48,10 @@ type config = {
   policy : O2_pta.Context.policy;
   serial_events : bool;
   lock_region : bool;
+  entry : O2_frontend.Parser.entry;
+      (** entry-point selection per file (default [Auto]: [main C;]
+          programs and Android-style class lists both analyze); part of
+          the cache key *)
   jobs : int;  (** worker domains across files (per-file detection is serial) *)
   format : [ `Text | `Json ];  (** per-file report format *)
   wall : float option;  (** per-file wall-clock budget, seconds *)

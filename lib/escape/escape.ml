@@ -1,7 +1,7 @@
 open O2_ir
 open O2_pta
 
-type t = { solver : Solver.t; escaped : (int, unit) Hashtbl.t }
+type t = { solver : Solver.result; escaped : (int, unit) Hashtbl.t }
 
 let is_escaped t oid = Hashtbl.mem t.escaped oid
 
@@ -10,7 +10,7 @@ let escaped_objects t =
   |> List.sort compare
 
 let run a =
-  let pag = Solver.pag a in
+  let pag = a.Solver.pag in
   let t = { solver = a; escaped = Hashtbl.create 64 } in
   let frontier = ref [] in
   let mark oid =
@@ -20,7 +20,7 @@ let run a =
     end
   in
   (* roots: thread/handler objects and everything in static fields *)
-  let p = Solver.program a in
+  let p = a.Solver.program in
   Pag.iter_nodes
     (fun _ node pts ->
       match node with
@@ -82,5 +82,5 @@ let n_escaped_accesses t =
                   if shared then
                     Hashtbl.replace seen (s.Ast.sid, target, is_write) ())
                 targets))
-    (Solver.spawns a);
+    (a.Solver.spawns);
   Hashtbl.length seen

@@ -19,7 +19,7 @@ open O2_pta
 type t
 
 (** [run a] classifies all abstract objects of a solved analysis. *)
-val run : Solver.t -> t
+val run : Solver.result -> t
 
 (** [is_escaped t oid] is true iff the object may be reached by ≥2 threads
     under this (coarse) criterion. *)

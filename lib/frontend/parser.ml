@@ -388,14 +388,55 @@ let parse_decls ~file src =
   let cs = parse_class_list st in
   { Ast.pd_classes = cs; pd_main = main }
 
+(* ---------------- entry-point selection ---------------- *)
+
+type entry = Auto | Main | Android of string option
+
+let entry_of_string s =
+  let s = String.trim s in
+  match String.lowercase_ascii s with
+  | "auto" -> Ok Auto
+  | "main" -> Ok Main
+  | "android" -> Ok (Android None)
+  | _ ->
+      let n = String.length s in
+      if n > 8 && String.lowercase_ascii (String.sub s 0 8) = "android:"
+      then Ok (Android (Some (String.sub s 8 (n - 8))))
+      else
+        Error
+          (Printf.sprintf
+             "unknown entry %S (expected auto, main, android or \
+              android:Activity)" s)
+
+let entry_name = function
+  | Auto -> "auto"
+  | Main -> "main"
+  | Android None -> "android"
+  | Android (Some a) -> "android:" ^ a
+
+let parse_program ?(entry = Auto) ?(file = "<string>") src =
+  let android main_activity =
+    Harness.android ?main_activity (parse_classes ~file src)
+  in
+  match entry with
+  | Main -> Program.of_decls (parse_decls ~file src)
+  | Android a -> android a
+  | Auto ->
+      (* the two program forms are distinguished by their first token: a
+         whole program opens with the [main C;] header, an Android-style
+         bare class list opens with [class] *)
+      let st = make_state ~file src in
+      if st.tok = Token.KW_MAIN then Program.of_decls (parse_decls ~file src)
+      else android None
+
 let parse_string ?(file = "<string>") src =
   Program.of_decls (parse_decls ~file src)
 
-let parse_file path =
+let parse_file ?entry path =
   let ic = open_in_bin path in
   let src =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  parse_string ~file:path src
+  parse_program ?entry ~file:path src

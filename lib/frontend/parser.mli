@@ -16,8 +16,34 @@ val parse_decls : file:string -> string -> O2_ir.Ast.program_decl
     @raise O2_ir.Program.Ill_formed on resolution errors. *)
 val parse_string : ?file:string -> string -> O2_ir.Program.t
 
-(** [parse_file path] reads and parses [path]. *)
-val parse_file : string -> O2_ir.Program.t
+(** How to obtain the analysis entry point from a source.
+
+    CIR sources come in two forms: a whole program with a [main C;]
+    header, and an Android-style bare class list whose entry is the
+    generated lifecycle harness ({!O2_ir.Harness.android}). [Auto]
+    distinguishes them by the first token. [Android None] drives the
+    default activity; [Android (Some a)] drives activity [a]. *)
+type entry = Auto | Main | Android of string option
+
+(** [entry_of_string s] parses the CLI spellings ["auto"], ["main"],
+    ["android"] and ["android:MyActivity"] (case-insensitive up to the
+    activity name). *)
+val entry_of_string : string -> (entry, string) result
+
+(** [entry_name e] is the canonical spelling {!entry_of_string} accepts. *)
+val entry_name : entry -> string
+
+(** [parse_program ?entry ?file src] parses and resolves under the given
+    entry-point selection (default [Auto]).
+    @raise O2_ir.Program.Ill_formed on resolution errors
+    @raise O2_ir.Harness.No_activity when the Android path finds no
+    activity class. *)
+val parse_program : ?entry:entry -> ?file:string -> string -> O2_ir.Program.t
+
+(** [parse_file ?entry path] reads and parses [path] (default [Auto] —
+    Android-style class lists get their harness generated, everything
+    else must carry the [main C;] header). *)
+val parse_file : ?entry:entry -> string -> O2_ir.Program.t
 
 (** [parse_classes ~file src] parses a bare list of class declarations (no
     [main C;] header) — the Android-app form, to be wrapped by

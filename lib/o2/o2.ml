@@ -23,7 +23,7 @@ end
 
 type result = {
   config : Config.t;
-  solver : O2_pta.Solver.t;
+  solver : O2_pta.Solver.result;
   graph : O2_shb.Graph.t;
   report : O2_race.Detect.report;
   osa : O2_osa.Osa.t;
@@ -49,8 +49,8 @@ let run (cfg : Config.t) p =
     sp "analyze" (fun () ->
         let solver =
           sp "pta" (fun () ->
-              O2_pta.Solver.analyze ~policy:cfg.Config.policy ?metrics:m
-                ?budget:cfg.Config.budget p)
+              O2_pta.Solver.analyze ~policy:cfg.Config.policy
+                ~jobs:cfg.Config.jobs ?metrics:m ?budget:cfg.Config.budget p)
         in
         deadline_gate ();
         let graph =
@@ -74,19 +74,6 @@ let run (cfg : Config.t) p =
       O2_util.Metrics.set mm "o2.races" (O2_race.Detect.n_races report);
       O2_util.Metrics.set mm "o2.origins" (O2_pta.Solver.n_origins solver));
   { config = cfg; solver; graph; report; osa; elapsed }
-
-let analyze ?(policy = O2_pta.Context.Korigin 1) ?(serial_events = true)
-    ?(lock_region = true) p =
-  run
-    {
-      Config.policy;
-      serial_events;
-      lock_region;
-      metrics = None;
-      jobs = 1;
-      budget = None;
-    }
-    p
 
 let render ?format r =
   O2_race.Report.render ?format ?metrics:r.config.Config.metrics

@@ -36,9 +36,11 @@ module Config : sig
         (** observability sink threaded through every stage; [None]
             (default) costs nothing on any hot path *)
     jobs : int;
-        (** worker domains for race detection (default 1 = serial; requires
-            OCaml 5). The parallel output is byte-identical to serial —
-            per-domain accumulators are merged and sorted at the end. *)
+        (** worker domains for the whole pipeline (default 1 = serial;
+            requires OCaml 5): the PTA solve shards its worklist [jobs]
+            ways by origin and the race-detection pair scan fans out over
+            [jobs] domains; the batch driver reuses the same knob for
+            corpus fan-out. Output is byte-identical for every value. *)
     budget : O2_util.Budget.t option;
         (** resource budget: the PTA worklist checks it every step, and the
             wall-clock deadline is re-checked between pipeline stages.
@@ -57,7 +59,7 @@ end
 
 type result = {
   config : Config.t;  (** the configuration that produced this result *)
-  solver : O2_pta.Solver.t;  (** points-to facts, call graph, origins *)
+  solver : O2_pta.Solver.result;  (** points-to facts, call graph, origins *)
   graph : O2_shb.Graph.t;  (** the static happens-before graph *)
   report : O2_race.Detect.report;  (** detected races *)
   osa : O2_osa.Osa.t;  (** origin-sharing classification *)
@@ -71,18 +73,6 @@ type result = {
 
     @raise O2_util.Budget.Exhausted when [cfg.budget] runs out. *)
 val run : Config.t -> Program.t -> result
-
-(** [analyze p] is the legacy optional-argument entry point, equivalent to
-    [run { Config.default with policy; serial_events; lock_region }].
-
-    @deprecated Use {!Config} and {!run}; this shim remains for source
-    compatibility and never records metrics. *)
-val analyze :
-  ?policy:O2_pta.Context.policy ->
-  ?serial_events:bool ->
-  ?lock_region:bool ->
-  Program.t ->
-  result
 
 (** [render ?format r] renders the race report as text (default) or JSON
     via the unified {!O2_race.Report.render} path. If the run carried a

@@ -65,7 +65,7 @@ let run ?metrics a =
       accesses = [];
       touched = Hashtbl.create 16;
       key_of_spawn =
-        Array.map (Solver.origin_of_spawn a) (Solver.spawns a);
+        Array.map (Solver.origin_of_spawn a) (a.Solver.spawns);
     }
   in
   let n_scanned = ref 0 in
@@ -86,7 +86,7 @@ let run ?metrics a =
                     | Access.Tfield (oid, _) -> touch t origin oid
                     | Access.Tstatic _ -> ())
                   targets))
-      (Solver.spawns a)
+      (a.Solver.spawns)
   in
   (match metrics with
   | None -> scan ()
@@ -142,7 +142,7 @@ let n_shared_object_sites a t =
       if is_shared (freeze target s) then
         (match target with
         | Access.Tfield (oid, _) ->
-            let o = Pag.obj (Solver.pag a) oid in
+            let o = Pag.obj (a.Solver.pag) oid in
             `Site o.Pag.ob_site
         | Access.Tstatic (c, _) -> `Static c)
         :: acc
@@ -183,7 +183,7 @@ let origin_local_objects t spawn_id =
       |> List.sort compare
 
 let pp a ppf t =
-  let sps = Solver.spawns a in
+  let sps = a.Solver.spawns in
   let name key =
     (* recover a representative spawn for an origin key *)
     let found = ref None in

@@ -33,7 +33,7 @@ type t
     sink the scan runs inside an ["osa.scan"] span and records
     [osa.stmts_scanned], [osa.accesses], [osa.locations] and
     [osa.shared_locations] (the Table 7 volume columns). *)
-val run : ?metrics:O2_util.Metrics.t -> Solver.t -> t
+val run : ?metrics:O2_util.Metrics.t -> Solver.result -> t
 
 (** [sharing_of t target] is the recorded sharing for a location, if any
     origin accessed it. *)
@@ -59,7 +59,7 @@ val n_shared_objects : t -> int
     instead of abstract object — the policy-comparable variant (context
     policies split one site into many abstract objects, which would
     otherwise inflate the more precise analyses' counts). *)
-val n_shared_object_sites : Solver.t -> t -> int
+val n_shared_object_sites : Solver.result -> t -> int
 
 (** [origin_local_objects t sp] lists abstract objects accessed only by
     origin [sp] — the "origin-local" part of the OSA output of Figure 2(d),
@@ -69,4 +69,4 @@ val origin_local_objects : t -> int -> int list
 
 (** [pp] renders the Figure 2(d)-style report: per origin-shared location,
     the reading and writing origins. *)
-val pp : Solver.t -> Format.formatter -> t -> unit
+val pp : Solver.result -> Format.formatter -> t -> unit

@@ -9,7 +9,7 @@ let equal_target a b = a = b
 
 let pp_target a ppf = function
   | Tfield (oid, f) ->
-      let o = Pag.obj (Solver.pag a) oid in
+      let o = Pag.obj (a.Solver.pag) oid in
       if f = "*" then
         Format.fprintf ppf "%s@%d[*]" o.Pag.ob_class o.Pag.ob_site
       else Format.fprintf ppf "%s@%d.%s" o.Pag.ob_class o.Pag.ob_site f

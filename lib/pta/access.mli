@@ -15,13 +15,13 @@ val compare_target : target -> target -> int
 val equal_target : target -> target -> bool
 
 (** [pp_target a ppf t] prints e.g. [Data@12.val] or [Settings::verbose]. *)
-val pp_target : Solver.t -> Format.formatter -> target -> unit
+val pp_target : Solver.result -> Format.formatter -> target -> unit
 
 (** [of_stmt a m ctx s] is the access performed by statement [s] of method
     instance ⟨m, ctx⟩: the targets (one per abstract object the base may
     point to) and whether it is a write. [None] for non-access statements. *)
 val of_stmt :
-  Solver.t ->
+  Solver.result ->
   Program.meth ->
   Context.t ->
   Ast.stmt ->

@@ -23,14 +23,60 @@ module NodeIntern = Intern.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* Copy edges are deduplicated on the packed key [src lsl 31 lor dst] (node
+   ids stay far below 2^31): a single-int key makes the per-probe cost one
+   multiply-hash with no tuple allocation — [add_copy] runs once per
+   watcher delivery, the solve's hottest table path. *)
+module EdgeTbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = (x * 0x9e3779b1) land max_int
+end)
+
+let edge_key src dst = (src lsl 31) lor dst
+
+(* Difference-propagation invariant: [pts.(n)] holds the confirmed
+   points-to set of [n]; [delta.(n)] holds pending {e candidates} (they may
+   already be in [pts] — deduplication happens at the pop via
+   [Bitset.take_fresh]). [pending.(n)] accumulates fresh objects of watched
+   nodes between propagation and [flush_fires].
+
+   Concurrency contract (the origin-sharded parallel solve): node [n] is
+   owned by shard [shard.(n)]. During a parallel drain a shard mutates
+   [pts]/[delta]/[pending]/[on_wl]/[wl] only for nodes it owns; deltas for
+   foreign nodes go into its outbox row and are merged serially at the
+   barrier. All structural mutation (interning, edges, watchers, union-find
+   merges) happens in serial phases only. *)
 type t = {
   objs : ObjIntern.t;
   nodes : NodeIntern.t;
+  n_shards : int;
+  shard_of : node -> int;
+  dummy : Bitset.t;
+      (* shared sentinel filling the set arrays: a slot holds [dummy] until
+         its first write ([materialize]), so growing the arrays allocates no
+         per-slot sets. Never mutated; reads of an untouched slot see the
+         empty set. *)
   mutable pts : Bitset.t array;
-  succs : (int, int list ref) Hashtbl.t;
-  edge_set : (int * int, unit) Hashtbl.t;
-  watchers : (int, (int -> unit) list ref) Hashtbl.t;
-  mutable worklist : (int * int list) list;  (* (node, delta objs), LIFO *)
+  mutable delta : Bitset.t array;
+  mutable pending : Bitset.t array;
+  mutable succs : int list array;
+  mutable watchers : (int -> unit) list array;  (* newest first *)
+  mutable watched : bool array;
+  mutable shard : int array;
+  mutable uf : int array;  (* union-find parents; uf.(i) = i means root *)
+  mutable on_wl : bool array;
+  edge_set : unit EdgeTbl.t;
+  wl : int list array;  (* per-shard LIFO worklists *)
+  outbox : (int * Bitset.t) list array array;  (* [src_shard].(dst_shard) *)
+  fire_wl : int list array;
+      (* per-shard: watched nodes whose [pending] went nonempty since the
+         last flush — flush visits only these instead of scanning every
+         node *)
+  scratch : Bitset.t array;
+      (* per-shard scratch for [Bitset.take_fresh_into]: the drain pop
+         allocates nothing *)
   (* plain-int instrumentation, always on (no allocation, flushed into a
      Metrics sink by the solver at the end of the run) *)
   mutable wl_len : int;
@@ -38,121 +84,441 @@ type t = {
   mutable n_wl_iters : int;
   mutable n_wl_pushes : int;
   mutable n_pts_adds : int;
+  mutable n_fires : int;
+  mutable n_collapsed : int;
 }
 
-let create () =
+let create ?(shards = 1) ?(shard_of = fun _ -> 0) () =
+  let shards = max 1 shards in
   {
     objs = ObjIntern.create ();
     nodes = NodeIntern.create ();
+    n_shards = shards;
+    shard_of;
+    dummy = Bitset.create ();
     pts = [||];
-    succs = Hashtbl.create 256;
-    edge_set = Hashtbl.create 256;
-    watchers = Hashtbl.create 64;
-    worklist = [];
+    delta = [||];
+    pending = [||];
+    succs = [||];
+    watchers = [||];
+    watched = [||];
+    shard = [||];
+    uf = [||];
+    on_wl = [||];
+    edge_set = EdgeTbl.create 256;
+    wl = Array.make shards [];
+    outbox = Array.init shards (fun _ -> Array.make shards []);
+    fire_wl = Array.make shards [];
+    scratch = Array.init shards (fun _ -> Bitset.create ());
     wl_len = 0;
     wl_peak = 0;
     n_wl_iters = 0;
     n_wl_pushes = 0;
     n_pts_adds = 0;
+    n_fires = 0;
+    n_collapsed = 0;
   }
 
+let obj_hash = ObjIntern.hash_key
+let node_hash = NodeIntern.hash_key
+let obj_id_hashed g ~hash o = ObjIntern.intern_hashed g.objs ~hash o
 let obj_id g o = ObjIntern.intern g.objs o
+let find_obj_hashed g ~hash o = ObjIntern.find_hashed g.objs ~hash o
 let obj g id = ObjIntern.value g.objs id
 let n_objs g = ObjIntern.count g.objs
 
-let ensure_pts g id =
-  let n = Array.length g.pts in
-  if id >= n then begin
-    let cap = max 64 (max (id + 1) (n * 2)) in
-    let a = Array.init cap (fun i -> if i < n then g.pts.(i) else Bitset.create ()) in
-    g.pts <- a
+let grow g n =
+  let cap = Array.length g.pts in
+  if n > cap then begin
+      let cap' = max 256 (max n (cap * 4)) in
+    (* blit-extend: a closure call per slot across nine parallel arrays made
+       growth a measurable slice of small solves *)
+    let ext fill a =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    g.pts <- ext g.dummy g.pts;
+    g.delta <- ext g.dummy g.delta;
+    g.pending <- ext g.dummy g.pending;
+    g.succs <- ext [] g.succs;
+    g.watchers <- ext [] g.watchers;
+    g.watched <- ext false g.watched;
+    g.shard <- ext 0 g.shard;
+    let uf' = Array.make cap' 0 in
+    Array.blit g.uf 0 uf' 0 cap;
+    for i = cap to cap' - 1 do
+      uf'.(i) <- i
+    done;
+    g.uf <- uf';
+    g.on_wl <- ext false g.on_wl
   end
 
-let node_id g n =
-  let id = NodeIntern.intern g.nodes n in
-  ensure_pts g id;
+let node_id_hashed g ~hash n =
+  let before = NodeIntern.count g.nodes in
+  let id = NodeIntern.intern_hashed g.nodes ~hash n in
+  if id >= before then begin
+    grow g (id + 1);
+    g.shard.(id) <- g.shard_of n mod g.n_shards
+  end;
   id
 
+let node_id g n = node_id_hashed g ~hash:(node_hash n) n
+let find_node_hashed g ~hash n = NodeIntern.find_hashed g.nodes ~hash n
 let node g id = NodeIntern.value g.nodes id
 let n_nodes g = NodeIntern.count g.nodes
-let n_edges g = Hashtbl.length g.edge_set
-let pts g id = g.pts.(id)
+let n_edges g = EdgeTbl.length g.edge_set
 
-let schedule g n delta =
-  if delta <> [] then begin
-    g.worklist <- (n, delta) :: g.worklist;
+(* Path-halving find. Entries only ever move toward their root, and roots
+   are changed exclusively in serial phases, so the benign races of
+   concurrent path compression during parallel drains still always read a
+   valid ancestor. *)
+let rec find g i =
+  let p = g.uf.(i) in
+  if p = i then i
+  else begin
+    let gp = g.uf.(p) in
+    if gp <> p then g.uf.(i) <- gp;
+    find g (if gp <> p then gp else p)
+  end
+
+(* Callers of [pts]/[delta] must treat the result as read-only: an
+   untouched slot returns the shared [dummy]. All internal writes go
+   through [materialize]. *)
+let pts g id = g.pts.(find g id)
+let delta g id = g.delta.(find g id)
+
+let materialize g (a : Bitset.t array) n =
+  let s = a.(n) in
+  if s == g.dummy then begin
+    let s' = Bitset.create () in
+    a.(n) <- s';
+    s'
+  end
+  else s
+
+let schedule g n =
+  if not g.on_wl.(n) then begin
+    g.on_wl.(n) <- true;
+    let sh = g.shard.(n) in
+    g.wl.(sh) <- n :: g.wl.(sh);
     g.n_wl_pushes <- g.n_wl_pushes + 1;
     g.wl_len <- g.wl_len + 1;
     if g.wl_len > g.wl_peak then g.wl_peak <- g.wl_len
   end
 
 let add_obj g n o =
-  if Bitset.add g.pts.(n) o then begin
-    g.n_pts_adds <- g.n_pts_adds + 1;
-    schedule g n [ o ]
-  end
+  let n = find g n in
+  if not (Bitset.mem g.pts.(n) o) then
+    if Bitset.add (materialize g g.delta n) o then schedule g n
 
 let add_copy g ~src ~dst =
-  if src <> dst && not (Hashtbl.mem g.edge_set (src, dst)) then begin
-    Hashtbl.add g.edge_set (src, dst) ();
-    (match Hashtbl.find_opt g.succs src with
-    | Some l -> l := dst :: !l
-    | None -> Hashtbl.add g.succs src (ref [ dst ]));
-    (* propagate current contents of src *)
-    let delta =
-      Bitset.fold (fun o acc -> if Bitset.add g.pts.(dst) o then o :: acc else acc)
-        g.pts.(src) []
-    in
-    g.n_pts_adds <- g.n_pts_adds + List.length delta;
-    schedule g dst delta
+  let src = find g src and dst = find g dst in
+  if src <> dst && not (EdgeTbl.mem g.edge_set (edge_key src dst)) then begin
+    EdgeTbl.add g.edge_set (edge_key src dst) ();
+    g.succs.(src) <- dst :: g.succs.(src);
+    if Bitset.union_into ~into:(materialize g g.delta dst) g.pts.(src) then
+      schedule g dst
   end
 
 let add_watcher g n f =
-  (match Hashtbl.find_opt g.watchers n with
-  | Some l -> l := f :: !l
-  | None -> Hashtbl.add g.watchers n (ref [ f ]));
+  let n = find g n in
+  g.watchers.(n) <- f :: g.watchers.(n);
+  g.watched.(n) <- true;
   Bitset.iter f g.pts.(n)
 
-let solve ?check g =
-  let check = match check with Some f -> f | None -> fun _ -> () in
+(* -- propagation -------------------------------------------------------- *)
+
+(* Drain the worklist of [sh] to local quiescence. Fresh objects flow to
+   owned successors directly and to foreign successors via the outbox. *)
+let drain g check sh =
+  let iters = ref 0 and adds = ref 0 in
+  let base = g.n_wl_iters in
+  let scratch = g.scratch.(sh) in
   let rec loop () =
-    match g.worklist with
+    match g.wl.(sh) with
     | [] -> ()
-    | (n, delta) :: rest ->
-        g.worklist <- rest;
+    | n :: rest ->
+        g.wl.(sh) <- rest;
+        g.on_wl.(n) <- false;
         g.wl_len <- g.wl_len - 1;
-        g.n_wl_iters <- g.n_wl_iters + 1;
-        check g.n_wl_iters;
-        (* copy propagation *)
-        (match Hashtbl.find_opt g.succs n with
-        | Some l ->
-            List.iter
-              (fun dst ->
-                let fresh =
-                  List.filter (fun o -> Bitset.add g.pts.(dst) o) delta
-                in
-                g.n_pts_adds <- g.n_pts_adds + List.length fresh;
-                schedule g dst fresh)
-              !l
-        | None -> ());
-        (* watchers *)
-        (match Hashtbl.find_opt g.watchers n with
-        | Some l ->
-            let fs = !l in
-            List.iter (fun o -> List.iter (fun f -> f o) fs) delta
-        | None -> ());
+        incr iters;
+        (match check with Some f -> f (base + !iters) | None -> ());
+        let lo, hi =
+          Bitset.take_fresh_span ~scratch ~pts:(materialize g g.pts n)
+            ~delta:g.delta.(n)
+        in
+        if hi > 0 then begin
+          adds := !adds + Bitset.cardinal_span scratch ~lo ~hi;
+          List.iter
+            (fun dst0 ->
+              let dst = find g dst0 in
+              if dst <> n then begin
+                let dsh = g.shard.(dst) in
+                if dsh = sh then begin
+                  Bitset.union_span_into ~into:(materialize g g.delta dst)
+                    scratch ~lo ~hi;
+                  schedule g dst
+                end
+                else
+                  (* the scratch set is recycled next pop: cross-shard
+                     deltas get their own copy for the barrier merge *)
+                  g.outbox.(sh).(dsh) <-
+                    (dst, Bitset.copy_span scratch ~lo ~hi)
+                    :: g.outbox.(sh).(dsh)
+              end)
+            g.succs.(n);
+          if g.watched.(n) then begin
+            if Bitset.is_empty g.pending.(n) then
+              g.fire_wl.(sh) <- n :: g.fire_wl.(sh);
+            Bitset.union_span_into ~into:(materialize g g.pending n) scratch
+              ~lo ~hi
+          end
+        end;
         loop ()
+  in
+  loop ();
+  (!iters, !adds)
+
+(* One parallel propagation phase: alternate concurrent shard drains with
+   serial outbox merges until every worklist is empty. With one shard (or no
+   pool) this degenerates to the plain serial worklist loop. *)
+let propagate ?check ?pool g =
+  let shards = g.n_shards in
+  let iters = Array.make shards 0 and adds = Array.make shards 0 in
+  let run_shards f =
+    match pool with
+    | Some p when Pool.size p > 1 && g.wl_len >= 64 ->
+        (* the pool may be narrower than the shard count (workers are
+           clamped to the hardware): workers claim whole shards through one
+           atomic cursor, so each shard's state is still touched by exactly
+           one domain *)
+        let cursor = Atomic.make 0 in
+        Pool.run p (fun _ ->
+            let rec work () =
+              let sh = Atomic.fetch_and_add cursor 1 in
+              if sh < shards then begin
+                f sh;
+                work ()
+              end
+            in
+            work ())
+    | _ ->
+        for sh = 0 to shards - 1 do
+          f sh
+        done
+  in
+  let continue_ = ref (Array.exists (fun l -> l <> []) g.wl) in
+  while !continue_ do
+    run_shards (fun sh ->
+        let it, ad = drain g check sh in
+        iters.(sh) <- iters.(sh) + it;
+        adds.(sh) <- adds.(sh) + ad);
+    (* barrier: merge cross-shard deltas, reschedule their owners *)
+    let any = ref false in
+    for src = 0 to shards - 1 do
+      for dsh = 0 to shards - 1 do
+        match g.outbox.(src).(dsh) with
+        | [] -> ()
+        | entries ->
+            g.outbox.(src).(dsh) <- [];
+            List.iter
+              (fun (dst, fresh) ->
+                if Bitset.union_into ~into:(materialize g g.delta dst) fresh
+                then begin
+                  schedule g dst;
+                  any := true
+                end)
+              entries
+      done
+    done;
+    g.n_wl_iters <- g.n_wl_iters + Array.fold_left ( + ) 0 iters;
+    g.n_pts_adds <- g.n_pts_adds + Array.fold_left ( + ) 0 adds;
+    Array.fill iters 0 shards 0;
+    Array.fill adds 0 shards 0;
+    g.wl_len <- 0;
+    continue_ := !any
+  done
+
+(* Fire accumulated deltas of watched nodes, in deterministic order: nodes
+   ascending, objects ascending, watchers in registration order. Watcher
+   callbacks may mutate the graph (register watchers, add edges/objects);
+   lists are snapshotted first and new work lands in delta/pending for the
+   next round. *)
+let flush_fires g =
+  let hot = ref [] in
+  for sh = 0 to g.n_shards - 1 do
+    hot := List.rev_append g.fire_wl.(sh) !hot;
+    g.fire_wl.(sh) <- []
+  done;
+  (* sort (and dedup — drains of successive rounds may both record a node)
+     so delivery order is nodes ascending regardless of drain order *)
+  let hot = List.sort_uniq Int.compare !hot in
+  let fired = ref false in
+  List.iter
+    (fun id ->
+      if not (Bitset.is_empty g.pending.(id)) then begin
+        let fs = List.rev g.watchers.(id) in
+        fired := true;
+        (* iterate the pending set live: callbacks write only delta (via
+           add_obj/add_copy) or other nodes' watcher lists, never pending,
+           so no snapshot list is needed *)
+        Bitset.iter
+          (fun o ->
+            g.n_fires <- g.n_fires + 1;
+            List.iter (fun f -> f o) fs)
+          g.pending.(id);
+        Bitset.clear g.pending.(id)
+      end)
+    hot;
+  !fired
+
+(* -- SCC collapsing ----------------------------------------------------- *)
+
+(* Iterative Tarjan over the canonical copy graph; every copy cycle is
+   collapsed onto its minimum unwatched member via union-find. Watched
+   nodes are left out of the union: merging them would require per-watcher
+   catch-up firing, and cycles through watched nodes are rare. Runs only in
+   serial phases; rebuilds the worklists so no stale member ids remain. *)
+let collapse_sccs g =
+  let n = NodeIntern.count g.nodes in
+  if n = 0 then 0
+  else begin
+    let index = Array.make n (-1) in
+    let low = Array.make n 0 in
+    let on_stack = Array.make n false in
+    let stack = ref [] in
+    let next_index = ref 0 in
+    let merged = ref 0 in
+    let unions = ref [] in
+    (* explicit DFS stack: (node, remaining successors) *)
+    let strongconnect v0 =
+      let call = ref [ (v0, ref (g.succs.(v0))) ] in
+      index.(v0) <- !next_index;
+      low.(v0) <- !next_index;
+      incr next_index;
+      stack := v0 :: !stack;
+      on_stack.(v0) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: tl -> (
+            match !rest with
+            | [] ->
+                call := tl;
+                if low.(v) = index.(v) then begin
+                  (* pop the component *)
+                  let comp = ref [] in
+                  let stop = ref false in
+                  while not !stop do
+                    match !stack with
+                    | [] -> stop := true
+                    | w :: s ->
+                        stack := s;
+                        on_stack.(w) <- false;
+                        comp := w :: !comp;
+                        if w = v then stop := true
+                  done;
+                  match !comp with
+                  | _ :: _ :: _ -> unions := !comp :: !unions
+                  | _ -> ()
+                end;
+                (match tl with
+                | (u, _) :: _ -> if low.(v) < low.(u) then low.(u) <- low.(v)
+                | [] -> ())
+            | w0 :: ws ->
+                rest := ws;
+                let w = find g w0 in
+                if w <> v then begin
+                  if index.(w) < 0 then begin
+                    index.(w) <- !next_index;
+                    low.(w) <- !next_index;
+                    incr next_index;
+                    stack := w :: !stack;
+                    on_stack.(w) <- true;
+                    call := (w, ref g.succs.(w)) :: !call
+                  end
+                  else if on_stack.(w) then
+                    if index.(w) < low.(v) then low.(v) <- index.(w)
+                end)
+      done
+    in
+    for v = 0 to n - 1 do
+      if find g v = v && index.(v) < 0 then strongconnect v
+    done;
+    (* union each component onto its minimum unwatched member *)
+    List.iter
+      (fun comp ->
+        let eligible = List.filter (fun v -> not g.watched.(v)) comp in
+        match List.sort compare eligible with
+        | rep :: (_ :: _ as members) ->
+            List.iter
+              (fun m ->
+                g.uf.(m) <- rep;
+                ignore
+                  (Bitset.union_into ~into:(materialize g g.pts rep)
+                     g.pts.(m));
+                ignore
+                  (Bitset.union_into ~into:(materialize g g.delta rep)
+                     g.delta.(m));
+                incr merged)
+              members;
+            (* rebuild the representative's successor list, deduplicated
+               through the new union-find state, self-loops dropped *)
+            let seen = Hashtbl.create 16 in
+            let out = ref [] in
+            List.iter
+              (fun v ->
+                List.iter
+                  (fun d0 ->
+                    let d = find g d0 in
+                    if d <> rep && not (Hashtbl.mem seen d) then begin
+                      Hashtbl.add seen d ();
+                      out := d :: !out
+                    end)
+                  g.succs.(v))
+              (rep :: members);
+            List.iter (fun m -> g.succs.(m) <- []) members;
+            g.succs.(rep) <- !out
+        | _ -> ())
+      !unions;
+    if !merged > 0 then begin
+      (* remap worklists: members collapse onto their representative *)
+      for sh = 0 to g.n_shards - 1 do
+        let old = g.wl.(sh) in
+        g.wl.(sh) <- [];
+        List.iter
+          (fun v ->
+            g.on_wl.(v) <- false;
+            let r = find g v in
+            if (not (Bitset.is_empty g.delta.(r))) && not g.on_wl.(r) then begin
+              g.on_wl.(r) <- true;
+              g.wl.(g.shard.(r)) <- r :: g.wl.(g.shard.(r))
+            end)
+          old
+      done;
+      g.n_collapsed <- g.n_collapsed + !merged
+    end;
+    !merged
+  end
+
+let solve ?check g =
+  let rec loop () =
+    propagate ?check g;
+    if flush_fires g then loop ()
   in
   loop ()
 
-let iter_nodes f g = NodeIntern.iter (fun id n -> f id n g.pts.(id)) g.nodes
+let iter_nodes f g = NodeIntern.iter (fun id n -> f id n (pts g id)) g.nodes
 
 let n_worklist_iters g = g.n_wl_iters
 let n_worklist_pushes g = g.n_wl_pushes
 let worklist_peak g = g.wl_peak
 let n_pts_adds g = g.n_pts_adds
+let n_fires g = g.n_fires
+let n_collapsed g = g.n_collapsed
 
 let n_pts_facts g =
   let total = ref 0 in
-  NodeIntern.iter (fun id _ -> total := !total + Bitset.cardinal g.pts.(id)) g.nodes;
+  NodeIntern.iter (fun id _ -> total := !total + Bitset.cardinal (pts g id)) g.nodes;
   !total

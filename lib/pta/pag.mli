@@ -5,7 +5,38 @@
     Complex constraints (loads, stores, virtual calls, origin entries) are
     {e watchers}: callbacks invoked once per new object reaching a base
     node, which is how the call graph is built on the fly (§3.2, "the PAG
-    constructed by OPA is built together with the call graph"). *)
+    constructed by OPA is built together with the call graph").
+
+    {2 Difference propagation}
+
+    Every node carries two bitsets: the confirmed points-to set [pts n]
+    and a pending {e delta} of candidate objects not yet propagated.
+    Constraint insertion ({!add_obj}, {!add_copy}) only merges candidates
+    into deltas — O(words), no rescan of [pts]; the worklist pop commits
+    [delta \ pts] in one word-parallel step ({!O2_util.Bitset.take_fresh})
+    and forwards exactly the fresh objects along copy edges. Watchers fire
+    on deltas, never on full sets: fresh objects of watched nodes are
+    accumulated and delivered by {!flush_fires} in deterministic order
+    (nodes ascending, objects ascending, watchers in registration order).
+
+    {2 Origin sharding}
+
+    The graph is created with a shard count and a [node -> shard] map
+    (the solver keys it on the origin context owning each node). Node
+    state is owned by its shard: {!propagate} drains each shard's
+    worklist on its own domain, accumulating deltas for foreign nodes
+    into per-domain outboxes that are merged serially at a barrier, and
+    iterates such sub-rounds to fixpoint. All structural mutation —
+    interning, edges, watchers, SCC merges — is restricted to serial
+    phases, which is what makes the frozen-table parallel reads safe and
+    the result independent of the shard count.
+
+    {2 Cycle collapsing}
+
+    {!collapse_sccs} unifies copy-edge cycles (whose members provably
+    converge to equal points-to sets) onto one representative via
+    union-find; all node ids remain valid and transparently resolve
+    through the alias. *)
 
 open O2_ir
 
@@ -24,10 +55,28 @@ type node =
 
 type t
 
-val create : unit -> t
+(** [create ?shards ?shard_of ()] builds an empty graph. [shard_of]
+    assigns each node to a worklist shard in [0 .. shards-1] (reduced
+    modulo [shards]); defaults to a single shard. *)
+val create : ?shards:int -> ?shard_of:(node -> int) -> unit -> t
+
+(** {2 Interning}
+
+    The [_hashed] variants take a key hash precomputed with {!node_hash} /
+    {!obj_hash} — parallel describe phases hash keys off the serial path
+    and the serial barrier interns without rehashing. Lookups ([find_*],
+    [node], [obj]) are safe from multiple domains while no domain interns. *)
+
+val obj_hash : obj -> int
+val node_hash : node -> int
 
 (** [obj_id g o] interns an abstract object. *)
 val obj_id : t -> obj -> int
+
+val obj_id_hashed : t -> hash:int -> obj -> int
+
+(** [find_obj_hashed g ~hash o] is the id of [o], or [-1] when unknown. *)
+val find_obj_hashed : t -> hash:int -> obj -> int
 
 (** [obj g id] recovers an interned object. *)
 val obj : t -> int -> obj
@@ -38,57 +87,107 @@ val n_objs : t -> int
 (** [node_id g n] interns a PAG node. *)
 val node_id : t -> node -> int
 
+val node_id_hashed : t -> hash:int -> node -> int
+
+(** [find_node_hashed g ~hash n] is the id of [n], or [-1] when unknown. *)
+val find_node_hashed : t -> hash:int -> node -> int
+
 (** [node g id] recovers an interned node. *)
 val node : t -> int -> node
 
 (** [n_nodes g] is the number of pointer nodes (the paper's #Pointer). *)
 val n_nodes : t -> int
 
-(** [n_edges g] is the number of copy edges (the paper's #Edge). *)
+(** [n_edges g] is the number of copy edges ever inserted (the paper's
+    #Edge; cycle collapsing does not decrease it). *)
 val n_edges : t -> int
 
-(** [pts g n] is the current points-to set of node [n] (do not mutate). *)
+(** {2 The graph} *)
+
+(** [find g n] is the canonical representative of [n] under cycle
+    collapsing ([n] itself unless an SCC merge aliased it). *)
+val find : t -> int -> int
+
+(** [pts g n] is the current points-to set of node [n], resolved through
+    {!find} (do not mutate). *)
 val pts : t -> int -> O2_util.Bitset.t
 
-(** [add_obj g n o] adds object [o] to [pts n], scheduling propagation. *)
+(** [delta g n] is the pending candidate set of [n] — objects scheduled
+    but not yet committed by propagation (do not mutate). *)
+val delta : t -> int -> O2_util.Bitset.t
+
+(** [add_obj g n o] schedules object [o] for [pts n]. Serial phases only. *)
 val add_obj : t -> int -> int -> unit
 
 (** [add_copy g ~src ~dst] adds a subset edge [pts src ⊆ pts dst];
-    idempotent; propagates the current contents of [src]. *)
+    idempotent; schedules the current contents of [src] as candidates for
+    [dst]. Serial phases only. *)
 val add_copy : t -> src:int -> dst:int -> unit
 
-(** [add_watcher g n f] registers [f] to run on every object in [pts n],
-    now and in the future. Watchers may add edges, objects and watchers. *)
+(** [add_watcher g n f] registers [f] to run on every object in [pts n]:
+    immediately for the already-confirmed set, and via {!flush_fires} for
+    every delta committed later. Watchers may add edges, objects and
+    watchers. Serial phases only. *)
 val add_watcher : t -> int -> (int -> unit) -> unit
 
-(** [solve ?check g] drains the worklist to fixpoint. Reentrant: may be
-    called again after adding more constraints. [check] (if given) runs
-    once per worklist pop with the cumulative iteration count; it may
-    raise to abandon the solve — how {!O2_util.Budget} ceilings are
-    enforced. *)
+(** {2 Solving} *)
+
+(** [propagate ?check ?pool g] drains all pending deltas to fixpoint —
+    pure copy propagation; watcher deliveries accumulate for
+    {!flush_fires}. With [pool], shards drain concurrently (one domain
+    each) with serial outbox merges between sub-rounds; results are
+    identical with or without it. [check] runs once per pop with the
+    cumulative pop count and may raise to abandon the solve — how
+    {!O2_util.Budget} ceilings are enforced (under a pool the count each
+    shard sees is approximate). *)
+val propagate : ?check:(int -> unit) -> ?pool:O2_util.Pool.t -> t -> unit
+
+(** [flush_fires g] delivers accumulated deltas of watched nodes to their
+    watchers, in deterministic order; returns [true] if anything fired.
+    Callbacks typically add constraints, so callers alternate
+    [propagate]/[flush_fires] until both report quiescence. *)
+val flush_fires : t -> bool
+
+(** [collapse_sccs g] collapses copy-edge cycles onto one representative
+    per strongly-connected component (watched nodes are never aliased);
+    returns the number of nodes merged. Serial phases only. *)
+val collapse_sccs : t -> int
+
+(** [solve ?check g] is the serial convenience loop:
+    [propagate]/[flush_fires] until quiescent. Reentrant: may be called
+    again after adding more constraints. *)
 val solve : ?check:(int -> unit) -> t -> unit
 
-(** [iter_nodes f g] applies [f id node pts] to every node. *)
+(** [iter_nodes f g] applies [f id node pts] to every node (aliased
+    members report their representative's set). *)
 val iter_nodes : (int -> node -> O2_util.Bitset.t -> unit) -> t -> unit
 
 (** {2 Instrumentation}
 
     Always-on plain-integer counters (the increments cost nothing
     measurable); the solver flushes them into its {!O2_util.Metrics} sink
-    after the fixpoint. *)
+    after the fixpoint. Under a multi-domain pool the scheduling counters
+    are approximate; the fact counters ([n_pts_adds], [n_pts_facts]) are
+    exact and shard-count independent. *)
 
-(** [n_worklist_iters g] counts worklist items popped by {!solve}. *)
+(** [n_worklist_iters g] counts worklist items popped. *)
 val n_worklist_iters : t -> int
 
-(** [n_worklist_pushes g] counts non-empty deltas scheduled. *)
+(** [n_worklist_pushes g] counts node schedulings. *)
 val n_worklist_pushes : t -> int
 
-(** [worklist_peak g] is the deepest the worklist ever got. *)
+(** [worklist_peak g] is the deepest any worklist got. *)
 val worklist_peak : t -> int
 
-(** [n_pts_adds g] counts successful points-to fact insertions (the
+(** [n_pts_adds g] counts committed points-to facts (the
     difference-propagation work actually performed). *)
 val n_pts_adds : t -> int
+
+(** [n_fires g] counts watcher deliveries by {!flush_fires}. *)
+val n_fires : t -> int
+
+(** [n_collapsed g] counts nodes aliased by {!collapse_sccs}. *)
+val n_collapsed : t -> int
 
 (** [n_pts_facts g] is Σ|pts(n)| over all nodes — the paper's points-to
     set volume. O(nodes·words), computed on demand. *)

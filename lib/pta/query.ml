@@ -9,10 +9,10 @@ type obj_info = {
 }
 
 let obj_info a oid =
-  let o = Pag.obj (Solver.pag a) oid in
+  let o = Pag.obj (a.Solver.pag) oid in
   let pos =
     if o.Pag.ob_site >= 0 then
-      let s, _ = Program.stmt (Solver.program a) o.Pag.ob_site in
+      let s, _ = Program.stmt (a.Solver.program) o.Pag.ob_site in
       s.Ast.pos
     else Types.dummy_pos
   in
@@ -42,7 +42,7 @@ let may_alias a (c1, m1, v1) (c2, m2, v2) =
   List.exists (fun o -> List.mem o s2) s1
 
 let objects_of_class a cls =
-  let pag = Solver.pag a in
+  let pag = a.Solver.pag in
   let out = ref [] in
   for oid = 0 to Pag.n_objs pag - 1 do
     if (Pag.obj pag oid).Pag.ob_class = cls then out := obj_info a oid :: !out
@@ -52,7 +52,7 @@ let objects_of_class a cls =
 let meth_name (m : Program.meth) = m.Program.m_class ^ "." ^ m.Program.m_name
 
 let call_graph_edges a =
-  let p = Solver.program a in
+  let p = a.Solver.program in
   let edges = ref [] in
   List.iter
     (fun ((m : Program.meth), ctx) ->

@@ -20,25 +20,25 @@ type obj_info = {
 (** [points_to a ~cls ~meth ~var] is the points-to set of local [var] of
     [cls.meth], unioned over every context the method was analyzed under. *)
 val points_to :
-  Solver.t -> cls:Types.cname -> meth:Types.mname -> var:Types.vname -> obj_info list
+  Solver.result -> cls:Types.cname -> meth:Types.mname -> var:Types.vname -> obj_info list
 
 (** [may_alias a (c1,m1,v1) (c2,m2,v2)] is true iff the two locals may point
     to a common abstract object (in any context combination). *)
 val may_alias :
-  Solver.t ->
+  Solver.result ->
   Types.cname * Types.mname * Types.vname ->
   Types.cname * Types.mname * Types.vname ->
   bool
 
 (** [objects_of_class a cls] lists all abstract objects of class [cls]. *)
-val objects_of_class : Solver.t -> Types.cname -> obj_info list
+val objects_of_class : Solver.result -> Types.cname -> obj_info list
 
 (** [call_graph_edges a] lists resolved call edges as
     [(caller "C.m", callee "D.n", call-site sid)], deduplicated — the
     origin-sensitive call graph of Figure 2(b), flattened. *)
-val call_graph_edges : Solver.t -> (string * string * int) list
+val call_graph_edges : Solver.result -> (string * string * int) list
 
 (** [reachable_methods a] lists "C.m" names of analyzed methods. *)
-val reachable_methods : Solver.t -> string list
+val reachable_methods : Solver.result -> string list
 
 val pp_obj_info : Format.formatter -> obj_info -> unit

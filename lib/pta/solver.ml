@@ -26,6 +26,13 @@ module OriginIntern = Intern.Make (struct
   let hash = Hashtbl.hash
 end)
 
+module IntTbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = (x * 0x9e3779b1) land max_int
+end)
+
 type meth_key = Types.cname * Types.mname * Context.t
 
 type reach_info = {
@@ -36,16 +43,45 @@ type reach_info = {
       (* wrapper-site redo closures for origin allocations in this body *)
 }
 
-type t = {
-  program : Program.t;
-  policy : Context.policy;
-  pag : Pag.t;
+(* A method instance whose body still has to be turned into constraints. *)
+type task = { tk_meth : Program.meth; tk_ctx : Context.t }
+
+(* A node description: structural key plus its hash, computed during the
+   (possibly parallel) describe phase so the serial apply barrier interns
+   without rehashing. [nd_id] caches the interned id after the first
+   resolve — describe shares one [nd] per variable per body, so a variable
+   used by many statements costs one intern probe, not one per use. *)
+type nd = { nd_hash : int; nd_key : Pag.node; mutable nd_id : int }
+
+(* One constraint of a described body. Simple ops resolve to graph edges;
+   the watcher ops ([OFieldW] .. [OPost]) install callbacks that run at
+   serial flush barriers and may in turn reach new bodies. *)
+type op =
+  | OCopy of nd * nd  (* src, dst *)
+  | OJoin of join
+  | OExtern of nd * int * Context.t  (* ret node, site, heap ctx (§4.3) *)
+  | OFieldW of nd * nd * Types.fname  (* base, src: base.f = src *)
+  | OFieldR of nd * nd * Types.fname  (* base, dst: dst = base.f *)
+  | OCallV of nd * int * Context.t * Types.mname * nd list * nd option
+      (* receiver, site, caller ctx, name, actuals, ret *)
+  | OCallS of int * Context.t * Program.meth * nd list * nd option
+  | OStart of nd * int * Context.t * bool  (* receiver, site, ctx, in_loop *)
+  | OPost of nd * int * Context.t * nd list * bool
+  | ONew of int * nd * Types.cname * nd list * meth_key
+      (* site, lhs, class, ctor actuals, enclosing instance *)
+
+type tables = {
+  t_program : Program.t;
+  t_policy : Context.policy;
+  t_pag : Pag.t;
   reach_tbl : (meth_key, reach_info) Hashtbl.t;
   call_edges : (int * Context.t, (Program.meth * Context.t) list ref) Hashtbl.t;
   call_edge_keys :
-    (int * Context.t * Types.cname * Types.mname * Context.t, unit) Hashtbl.t;
-      (* hashed dedup for call_edges; a per-site list scan is quadratic on
-         megamorphic sites *)
+    (int * Context.t * Types.cname * Types.mname * Context.t, int) Hashtbl.t;
+      (* hashed dedup for call_edges (a per-site list scan is quadratic on
+         megamorphic sites); the value caches the callee's interned "this"
+         node (-1 when the call has no receiver) so repeat fires skip the
+         structural intern probe *)
   mutable n_call_edges : int;
   mutable spawn_list : spawn list;
   spawn_keys : (int * Types.cname * Types.mname * Context.t * int, unit) Hashtbl.t;
@@ -54,31 +90,38 @@ type t = {
   origin_attr_nodes : (int, int list ref) Hashtbl.t;
   origin_attr_seen : (int * int, unit) Hashtbl.t;
       (* hashed dedup for origin_attr_nodes entries *)
-  stats : Metrics.t;
-  mutable spawn_arr : spawn array;  (* finalized *)
+  has_named : (Types.mname, unit) Hashtbl.t;
+      (* method-name index: O(1) external-call detection in describe *)
+  field_ids : (Types.fname, int) Hashtbl.t;
+      (* dense field-name interning for the field-node memo *)
+  fld_nodes : int IntTbl.t;
+      (* packed (object id, field id) -> interned NField node: field
+         watchers fire once per object per access site, and the structural
+         intern of [NField] dominated that path — repeats cost one
+         single-int probe (key = [oid lsl 20 lor fid]; dense field ids stay
+         far below 2^20) *)
+  mutable pending : task list;  (* bodies reached since the last round *)
 }
 
-exception Analysis_error of string
+type result = {
+  program : Program.t;
+  policy : Context.policy;
+  jobs : int;
+  pag : Pag.t;
+  spawns : spawn array;
+  joins : join list;
+  stats : Metrics.t;
+  tables : tables;
+}
 
-(* ----------------------------------------------------------------------- *)
+(* -- serial-phase helpers ----------------------------------------------- *)
 
-let nvar st (m : Program.meth) ctx v =
-  Pag.node_id st.pag (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
+let a_nvar st (m : Program.meth) ctx v =
+  Pag.node_id st.t_pag (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
 
-let nret st (m : Program.meth) ctx =
-  Pag.node_id st.pag (Pag.NRet (m.Program.m_class, m.Program.m_name, ctx))
+let a_nret st (m : Program.meth) ctx =
+  Pag.node_id st.t_pag (Pag.NRet (m.Program.m_class, m.Program.m_name, ctx))
 
-let record_call_edge st ~site ~ctx ((target, cctx) as callee) =
-  let dedup =
-    (site, ctx, target.Program.m_class, target.Program.m_name, cctx)
-  in
-  if not (Hashtbl.mem st.call_edge_keys dedup) then begin
-    Hashtbl.add st.call_edge_keys dedup ();
-    st.n_call_edges <- st.n_call_edges + 1;
-    match Hashtbl.find_opt st.call_edges (site, ctx) with
-    | Some l -> l := callee :: !l
-    | None -> Hashtbl.add st.call_edges (site, ctx) (ref [ callee ])
-  end
 
 let record_spawn st ~site ~entry ~ectx ~obj ~kind ~in_loop ~attr_nodes =
   let key =
@@ -104,9 +147,12 @@ let record_spawn st ~site ~entry ~ectx ~obj ~kind ~in_loop ~attr_nodes =
 let heap_ctx policy (ctx : Context.t) : Context.t =
   match policy with Context.Insensitive -> Context.Cempty | _ -> ctx
 
-(* ----------------------------------------------------------------------- *)
-
-let rec reach st ?(via_site = -1) (m : Program.meth) (ctx : Context.t) =
+(* [a_reach] marks a method instance reached. The body is not processed
+   inline (the old engine recursed here): it is queued as a task for the
+   next round's describe phase. A call site arriving later at an
+   already-described body replays its origin allocations through the redo
+   closures — the paper's k=1 wrapper extension. *)
+let a_reach st ?(via_site = -1) (m : Program.meth) (ctx : Context.t) =
   let key = (m.Program.m_class, m.Program.m_name, ctx) in
   let info =
     match Hashtbl.find_opt st.reach_tbl key with
@@ -132,163 +178,80 @@ let rec reach st ?(via_site = -1) (m : Program.meth) (ctx : Context.t) =
   end;
   if not info.processed then begin
     info.processed <- true;
-    process_body st m ctx info m.Program.m_body
+    st.pending <- { tk_meth = m; tk_ctx = ctx } :: st.pending
   end
   else if new_site then
-    (* the paper's k=1 wrapper extension: a new call site reaching a method
-       that contains origin allocations yields fresh origins *)
+    (* sites recorded before the body's ops apply are folded in by [ONew]
+       itself (it reads [incoming] at apply time), so only genuinely late
+       sites replay here *)
     List.iter (fun redo -> redo via_site) info.origin_allocs
-
-and process_body st (m : Program.meth) ctx info body =
-  List.iter (fun s -> process_stmt st m ctx info s) body
-
-and process_stmt st (m : Program.meth) ctx info (s : Ast.stmt) =
-  let site = s.Ast.sid in
-  let p = st.program in
-  let policy = st.policy in
-  match s.Ast.sk with
-  | Ast.Null _ | Ast.Return None | Ast.Signal _ | Ast.Wait _ -> ()
-  | Ast.Join x ->
-      st.join_list <-
-        { jn_site = site; jn_meth = m; jn_ctx = ctx; jn_var = x }
-        :: st.join_list
-  | Ast.Assign (x, y) ->
-      Pag.add_copy st.pag ~src:(nvar st m ctx y) ~dst:(nvar st m ctx x)
-  | Ast.New (x, c, args) -> process_new st m ctx info ~site ~x ~c ~args
-  | Ast.FieldWrite (x, f, y) ->
-      let ynode = nvar st m ctx y in
-      Pag.add_watcher st.pag (nvar st m ctx x) (fun o ->
-          Pag.add_copy st.pag ~src:ynode ~dst:(Pag.node_id st.pag (Pag.NField (o, f))))
-  | Ast.FieldRead (x, y, f) ->
-      let xnode = nvar st m ctx x in
-      Pag.add_watcher st.pag (nvar st m ctx y) (fun o ->
-          Pag.add_copy st.pag ~src:(Pag.node_id st.pag (Pag.NField (o, f))) ~dst:xnode)
-  | Ast.ArrayWrite (x, y) ->
-      let ynode = nvar st m ctx y in
-      Pag.add_watcher st.pag (nvar st m ctx x) (fun o ->
-          Pag.add_copy st.pag ~src:ynode ~dst:(Pag.node_id st.pag (Pag.NField (o, "*"))))
-  | Ast.ArrayRead (x, y) ->
-      let xnode = nvar st m ctx x in
-      Pag.add_watcher st.pag (nvar st m ctx y) (fun o ->
-          Pag.add_copy st.pag ~src:(Pag.node_id st.pag (Pag.NField (o, "*"))) ~dst:xnode)
-  | Ast.StaticWrite (c, f, y) ->
-      Pag.add_copy st.pag ~src:(nvar st m ctx y)
-        ~dst:(Pag.node_id st.pag (Pag.NStatic (c, f)))
-  | Ast.StaticRead (x, c, f) ->
-      Pag.add_copy st.pag ~src:(Pag.node_id st.pag (Pag.NStatic (c, f)))
-        ~dst:(nvar st m ctx x)
-  | Ast.Call (ret, y, mname, args) ->
-      let arg_nodes = List.map (nvar st m ctx) args in
-      let ret_node = Option.map (nvar st m ctx) ret in
-      (* §4.3: a call to a function whose body does not exist anywhere in
-         the program is external; its result is an anonymous object so
-         downstream accesses are still analyzed *)
-      if not (Program.any_method_named p mname) then begin
-        match ret_node with
-        | Some r ->
-            let hctx = heap_ctx policy ctx in
-            let oid =
-              Pag.obj_id st.pag
-                { Pag.ob_site = site; ob_class = "<external>"; ob_hctx = hctx }
-            in
-            Pag.add_obj st.pag r oid
-        | None -> ()
-      end;
-      Pag.add_watcher st.pag (nvar st m ctx y) (fun oid ->
-          let o = Pag.obj st.pag oid in
-          match Program.dispatch p o.Pag.ob_class mname with
-          | None -> ()
-          | Some target ->
-              let cctx =
-                Context.push_call policy ~ctx ~site ~recv_site:o.Pag.ob_site
-                  ~recv_hctx:o.Pag.ob_hctx
-              in
-              bind_call st ~site ~ctx ~target ~cctx ~this:(Some oid) ~arg_nodes
-                ~ret_node)
-  | Ast.StaticCall (ret, c, mname, args) -> (
-      match Program.static_method p c mname with
-      | None -> ()
-      | Some target ->
-          let cctx = Context.push_call_static policy ~ctx ~site in
-          let arg_nodes = List.map (nvar st m ctx) args in
-          let ret_node = Option.map (nvar st m ctx) ret in
-          bind_call st ~site ~ctx ~target ~cctx ~this:None ~arg_nodes ~ret_node)
-  | Ast.Start x ->
-      let in_loop = Program.stmt_in_loop p site in
-      Pag.add_watcher st.pag (nvar st m ctx x) (fun oid ->
-          let o = Pag.obj st.pag oid in
-          match Program.kind_of p o.Pag.ob_class with
-          | Program.Kthread _ -> (
-              match Program.entry_method p o.Pag.ob_class with
-              | None -> ()
-              | Some entry ->
-                  let ectx = entry_ctx st ~ctx ~site ~oid ~o in
-                  reach st entry ectx;
-                  Pag.add_obj st.pag (nvar st entry ectx "this") oid;
-                  record_spawn st ~site ~entry ~ectx ~obj:oid ~kind:`Thread
-                    ~in_loop ~attr_nodes:(origin_attr_nodes_of st o))
-          | _ -> ())
-  | Ast.Post (x, args) ->
-      let in_loop = Program.stmt_in_loop p site in
-      let arg_nodes = List.map (nvar st m ctx) args in
-      Pag.add_watcher st.pag (nvar st m ctx x) (fun oid ->
-          let o = Pag.obj st.pag oid in
-          match Program.kind_of p o.Pag.ob_class with
-          | Program.Khandler _ -> (
-              match Program.entry_method p o.Pag.ob_class with
-              | None -> ()
-              | Some entry ->
-                  let ectx = entry_ctx st ~ctx ~site ~oid ~o in
-                  reach st entry ectx;
-                  Pag.add_obj st.pag (nvar st entry ectx "this") oid;
-                  bind_params st entry ectx arg_nodes;
-                  record_spawn st ~site ~entry ~ectx ~obj:oid ~kind:`Event
-                    ~in_loop
-                    ~attr_nodes:(arg_nodes @ origin_attr_nodes_of st o))
-          | _ -> ())
-  | Ast.Sync (_, body) -> process_body st m ctx info body
-  | Ast.If (a, b) ->
-      process_body st m ctx info a;
-      process_body st m ctx info b
-  | Ast.While body -> process_body st m ctx info body
-  | Ast.Return (Some v) ->
-      Pag.add_copy st.pag ~src:(nvar st m ctx v) ~dst:(nret st m ctx)
 
 (* Formal-parameter binding: actuals use the caller's context, formals the
    callee's (Table 2 ❽/❾ ownership note). *)
-and bind_params st (target : Program.meth) cctx arg_nodes =
+let a_bind_params st (target : Program.meth) cctx arg_nodes =
   List.iteri
     (fun i param ->
       match List.nth_opt arg_nodes i with
-      | Some a -> Pag.add_copy st.pag ~src:a ~dst:(nvar st target cctx param)
+      | Some a ->
+          Pag.add_copy st.t_pag ~src:a ~dst:(a_nvar st target cctx param)
       | None -> ())
     target.Program.m_params
 
-and bind_call st ~site ~ctx ~target ~cctx ~this ~arg_nodes ~ret_node =
-  reach st ~via_site:site target cctx;
-  (match this with
-  | Some oid -> Pag.add_obj st.pag (nvar st target cctx "this") oid
-  | None -> ());
-  bind_params st target cctx arg_nodes;
-  (match ret_node with
-  | Some r -> Pag.add_copy st.pag ~src:(nret st target cctx) ~dst:r
-  | None -> ());
-  record_call_edge st ~site ~ctx (target, cctx)
+let a_bind_call st ~site ~ctx ~target ~cctx ~this ~arg_nodes ~ret_node =
+  let dedup =
+    (site, ctx, target.Program.m_class, target.Program.m_name, cctx)
+  in
+  match Hashtbl.find_opt st.call_edge_keys dedup with
+  | Some this_id -> (
+      (* a repeated (site, ctx, target, cctx) edge — another receiver object
+         of the same class reaching a virtual site — re-derives exactly the
+         same param/ret copies (idempotent), so only the per-object "this"
+         binding runs, against the node cached at the first bind *)
+      match this with
+      | None -> ()
+      | Some oid ->
+          let n =
+            if this_id >= 0 then this_id
+            else begin
+              let n = a_nvar st target cctx "this" in
+              Hashtbl.replace st.call_edge_keys dedup n;
+              n
+            end
+          in
+          Pag.add_obj st.t_pag n oid)
+  | None ->
+      let this_id =
+        match this with
+        | None -> -1
+        | Some oid ->
+            let n = a_nvar st target cctx "this" in
+            Pag.add_obj st.t_pag n oid;
+            n
+      in
+      Hashtbl.add st.call_edge_keys dedup this_id;
+      st.n_call_edges <- st.n_call_edges + 1;
+      (match Hashtbl.find_opt st.call_edges (site, ctx) with
+      | Some l -> l := (target, cctx) :: !l
+      | None -> Hashtbl.add st.call_edges (site, ctx) (ref [ (target, cctx) ]));
+      a_reach st ~via_site:site target cctx;
+      a_bind_params st target cctx arg_nodes;
+      (match ret_node with
+      | Some r -> Pag.add_copy st.t_pag ~src:(a_nret st target cctx) ~dst:r
+      | None -> ())
 
 (* Context for a thread/handler entry (Table 2 ❾): under the origin policy
    the origin was attached to the object at its allocation — the entry runs
    in the object's heap context. Other policies use their usual call rule. *)
-and entry_ctx st ~ctx ~site ~oid ~(o : Pag.obj) =
-  match st.policy with
+let a_entry_ctx st ~ctx ~site ~(o : Pag.obj) =
+  match st.t_policy with
   | Context.Korigin _ -> o.Pag.ob_hctx
   | policy ->
-      ignore oid;
       Context.push_call policy ~ctx ~site ~recv_site:o.Pag.ob_site
         ~recv_hctx:o.Pag.ob_hctx
 
 (* Attribute nodes of the origin carried by object [o]: registered at the
    origin allocation (origin policy); empty otherwise. *)
-and origin_attr_nodes_of st (o : Pag.obj) =
+let a_origin_attrs_of st (o : Pag.obj) =
   match o.Pag.ob_hctx with
   | Context.Corigin (og :: _) -> (
       match Hashtbl.find_opt st.origin_attr_nodes og with
@@ -296,11 +259,10 @@ and origin_attr_nodes_of st (o : Pag.obj) =
       | None -> [])
   | _ -> []
 
-and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
-  let p = st.program in
-  let policy = st.policy in
-  let arg_nodes = List.map (nvar st m ctx) args in
-  let xnode = nvar st m ctx x in
+let a_new st ~site ~ctx ~info ~xnode ~c ~arg_nodes =
+  let p = st.t_program in
+  let policy = st.t_policy in
+  let g = st.t_pag in
   let is_origin_alloc =
     match (policy, Program.kind_of p c) with
     | Context.Korigin _, (Program.Kthread _ | Program.Khandler _) -> true
@@ -308,16 +270,18 @@ and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
   in
   if not is_origin_alloc then begin
     let hctx = heap_ctx policy ctx in
-    let oid = Pag.obj_id st.pag { Pag.ob_site = site; ob_class = c; ob_hctx = hctx } in
-    Pag.add_obj st.pag xnode oid;
+    let oid =
+      Pag.obj_id g { Pag.ob_site = site; ob_class = c; ob_hctx = hctx }
+    in
+    Pag.add_obj g xnode oid;
     match Program.dispatch p c "init" with
     | None -> ()
     | Some init ->
         let cctx =
           Context.push_call policy ~ctx ~site ~recv_site:site ~recv_hctx:hctx
         in
-        bind_call st ~site ~ctx ~target:init ~cctx ~this:(Some oid) ~arg_nodes
-          ~ret_node:None
+        a_bind_call st ~site ~ctx ~target:init ~cctx ~this:(Some oid)
+          ~arg_nodes ~ret_node:None
   end
   else begin
     (* Table 2 rule ❽: context switch at the origin allocation. "A new and
@@ -374,16 +338,16 @@ and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
           let chain' = Context.truncate k (og_id :: chain) in
           let hctx = Context.Corigin chain' in
           let oid =
-            Pag.obj_id st.pag { Pag.ob_site = site; ob_class = c; ob_hctx = hctx }
+            Pag.obj_id g { Pag.ob_site = site; ob_class = c; ob_hctx = hctx }
           in
-          Pag.add_obj st.pag xnode oid;
+          Pag.add_obj g xnode oid;
           match Program.dispatch p c "init" with
           | None -> ()
           | Some init ->
               (* the init and the constructor-argument formals live in the
                  new origin (Figure 3) *)
-              bind_call st ~site ~ctx ~target:init ~cctx:hctx ~this:(Some oid)
-                ~arg_nodes ~ret_node:None)
+              a_bind_call st ~site ~ctx ~target:init ~cctx:hctx
+                ~this:(Some oid) ~arg_nodes ~ret_node:None)
         copies
     in
     (* one origin per incoming wrapper call site known now; re-done for call
@@ -391,12 +355,221 @@ and process_new st (m : Program.meth) ctx info ~site ~x ~c ~args =
     (match info.incoming with
     | [] -> alloc_under ~wrapper:(-1)
     | sites -> List.iter (fun ws -> alloc_under ~wrapper:ws) sites);
-    info.origin_allocs <- (fun ws -> alloc_under ~wrapper:ws) :: info.origin_allocs
+    info.origin_allocs <-
+      (fun ws -> alloc_under ~wrapper:ws) :: info.origin_allocs
   end
 
-(* ----------------------------------------------------------------------- *)
+(* -- describe ----------------------------------------------------------- *)
 
-let analyze ?(policy = Context.Korigin 1) ?metrics ?budget program =
+(* [describe st task] renders one method body into its op batch. It reads
+   only frozen state — the program, the policy and the [has_named] index —
+   and mutates nothing, so the pool can describe a round's tasks
+   concurrently; node-key hashing happens here, off the serial path. *)
+let describe_into st task ~emit =
+  let p = st.t_program in
+  let policy = st.t_policy in
+  let m = task.tk_meth in
+  let ctx = task.tk_ctx in
+  let mk key = { nd_hash = Pag.node_hash key; nd_key = key; nd_id = -1 } in
+  (* one shared [nd] per variable of the body: the key is hashed once here
+     and interned once at the first resolve, however many statements use it *)
+  let var_memo = Hashtbl.create 16 in
+  let dvar v =
+    match Hashtbl.find_opt var_memo v with
+    | Some nd -> nd
+    | None ->
+        let nd =
+          mk (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
+        in
+        Hashtbl.add var_memo v nd;
+        nd
+  in
+  let dret () = mk (Pag.NRet (m.Program.m_class, m.Program.m_name, ctx)) in
+  let dstatic c f = mk (Pag.NStatic (c, f)) in
+  let mkey = (m.Program.m_class, m.Program.m_name, ctx) in
+  let rec stmt (s : Ast.stmt) =
+    let site = s.Ast.sid in
+    match s.Ast.sk with
+    | Ast.Null _ | Ast.Return None | Ast.Signal _ | Ast.Wait _ -> ()
+    | Ast.Join x ->
+        emit
+          (OJoin { jn_site = site; jn_meth = m; jn_ctx = ctx; jn_var = x })
+    | Ast.Assign (x, y) -> emit (OCopy (dvar y, dvar x))
+    | Ast.New (x, c, args) ->
+        emit (ONew (site, dvar x, c, List.map dvar args, mkey))
+    | Ast.FieldWrite (x, f, y) -> emit (OFieldW (dvar x, dvar y, f))
+    | Ast.FieldRead (x, y, f) -> emit (OFieldR (dvar y, dvar x, f))
+    | Ast.ArrayWrite (x, y) -> emit (OFieldW (dvar x, dvar y, "*"))
+    | Ast.ArrayRead (x, y) -> emit (OFieldR (dvar y, dvar x, "*"))
+    | Ast.StaticWrite (c, f, y) -> emit (OCopy (dvar y, dstatic c f))
+    | Ast.StaticRead (x, c, f) -> emit (OCopy (dstatic c f, dvar x))
+    | Ast.Call (ret, y, mname, args) ->
+        (* §4.3: a call to a function whose body does not exist anywhere in
+           the program is external; its result is an anonymous object so
+           downstream accesses are still analyzed *)
+        if not (Hashtbl.mem st.has_named mname) then
+          Option.iter
+            (fun r -> emit (OExtern (dvar r, site, heap_ctx policy ctx)))
+            ret;
+        emit
+          (OCallV
+             (dvar y, site, ctx, mname, List.map dvar args, Option.map dvar ret))
+    | Ast.StaticCall (ret, c, mname, args) -> (
+        match Program.static_method p c mname with
+        | None -> ()
+        | Some target ->
+            emit
+              (OCallS
+                 (site, ctx, target, List.map dvar args, Option.map dvar ret)))
+    | Ast.Start x ->
+        emit (OStart (dvar x, site, ctx, Program.stmt_in_loop p site))
+    | Ast.Post (x, args) ->
+        emit
+          (OPost (dvar x, site, ctx, List.map dvar args,
+                  Program.stmt_in_loop p site))
+    | Ast.Sync (_, body) -> List.iter stmt body
+    | Ast.If (a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Ast.While body -> List.iter stmt body
+    | Ast.Return (Some v) -> emit (OCopy (dvar v, dret ()))
+  in
+  List.iter stmt m.Program.m_body
+
+let describe st task =
+  let ops = ref [] in
+  describe_into st task ~emit:(fun op -> ops := op :: !ops);
+  Array.of_list (List.rev !ops)
+
+(* -- apply -------------------------------------------------------------- *)
+
+let resolve st nd =
+  if nd.nd_id >= 0 then nd.nd_id
+  else begin
+    let id = Pag.node_id_hashed st.t_pag ~hash:nd.nd_hash nd.nd_key in
+    nd.nd_id <- id;
+    id
+  end
+
+let field_id st f =
+  match Hashtbl.find_opt st.field_ids f with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length st.field_ids in
+      Hashtbl.add st.field_ids f i;
+      i
+
+(* Field watchers fire once per (base object, access site) and every fire
+   needs the object's [NField] node; memoizing on the int pair turns the
+   repeat structural interns into one table probe. *)
+let fld_node st oid fid f =
+  let key = (oid lsl 20) lor fid in
+  match IntTbl.find_opt st.fld_nodes key with
+  | Some n -> n
+  | None ->
+      let n = Pag.node_id st.t_pag (Pag.NField (oid, f)) in
+      IntTbl.add st.fld_nodes key n;
+      n
+
+let apply_op st op =
+  let g = st.t_pag in
+  let p = st.t_program in
+  match op with
+  | OCopy (s, d) -> Pag.add_copy g ~src:(resolve st s) ~dst:(resolve st d)
+  | OJoin j -> st.join_list <- j :: st.join_list
+  | OExtern (r, site, hctx) ->
+      let oid =
+        Pag.obj_id g
+          { Pag.ob_site = site; ob_class = "<external>"; ob_hctx = hctx }
+      in
+      Pag.add_obj g (resolve st r) oid
+  | OFieldW (base, src, f) ->
+      let src = resolve st src in
+      let fid = field_id st f in
+      Pag.add_watcher g (resolve st base) (fun o ->
+          Pag.add_copy g ~src ~dst:(fld_node st o fid f))
+  | OFieldR (base, dst, f) ->
+      let dst = resolve st dst in
+      let fid = field_id st f in
+      Pag.add_watcher g (resolve st base) (fun o ->
+          Pag.add_copy g ~src:(fld_node st o fid f) ~dst)
+  | OCallV (recv, site, ctx, mname, args, ret) ->
+      let arg_nodes = List.map (resolve st) args in
+      let ret_node = Option.map (resolve st) ret in
+      Pag.add_watcher g (resolve st recv) (fun oid ->
+          let o = Pag.obj g oid in
+          match Program.dispatch p o.Pag.ob_class mname with
+          | None -> ()
+          | Some target ->
+              let cctx =
+                Context.push_call st.t_policy ~ctx ~site
+                  ~recv_site:o.Pag.ob_site ~recv_hctx:o.Pag.ob_hctx
+              in
+              a_bind_call st ~site ~ctx ~target ~cctx ~this:(Some oid)
+                ~arg_nodes ~ret_node)
+  | OCallS (site, ctx, target, args, ret) ->
+      let cctx = Context.push_call_static st.t_policy ~ctx ~site in
+      a_bind_call st ~site ~ctx ~target ~cctx ~this:None
+        ~arg_nodes:(List.map (resolve st) args)
+        ~ret_node:(Option.map (resolve st) ret)
+  | OStart (recv, site, ctx, in_loop) ->
+      Pag.add_watcher g (resolve st recv) (fun oid ->
+          let o = Pag.obj g oid in
+          match Program.kind_of p o.Pag.ob_class with
+          | Program.Kthread _ -> (
+              match Program.entry_method p o.Pag.ob_class with
+              | None -> ()
+              | Some entry ->
+                  let ectx = a_entry_ctx st ~ctx ~site ~o in
+                  a_reach st entry ectx;
+                  Pag.add_obj g (a_nvar st entry ectx "this") oid;
+                  record_spawn st ~site ~entry ~ectx ~obj:oid ~kind:`Thread
+                    ~in_loop ~attr_nodes:(a_origin_attrs_of st o))
+          | _ -> ())
+  | OPost (recv, site, ctx, args, in_loop) ->
+      let arg_nodes = List.map (resolve st) args in
+      Pag.add_watcher g (resolve st recv) (fun oid ->
+          let o = Pag.obj g oid in
+          match Program.kind_of p o.Pag.ob_class with
+          | Program.Khandler _ -> (
+              match Program.entry_method p o.Pag.ob_class with
+              | None -> ()
+              | Some entry ->
+                  let ectx = a_entry_ctx st ~ctx ~site ~o in
+                  a_reach st entry ectx;
+                  Pag.add_obj g (a_nvar st entry ectx "this") oid;
+                  a_bind_params st entry ectx arg_nodes;
+                  record_spawn st ~site ~entry ~ectx ~obj:oid ~kind:`Event
+                    ~in_loop
+                    ~attr_nodes:(arg_nodes @ a_origin_attrs_of st o))
+          | _ -> ())
+  | ONew (site, x, c, args, ((_, _, ctx) as key)) ->
+      let info = Hashtbl.find st.reach_tbl key in
+      a_new st ~site ~ctx ~info ~xnode:(resolve st x) ~c
+        ~arg_nodes:(List.map (resolve st) args)
+
+(* -- sharding ----------------------------------------------------------- *)
+
+(* Shard key of a node: the head origin of its context when there is one
+   (the origin policy's natural partition — an origin's locals and returns
+   stay on one shard), a structural hash otherwise. *)
+let shard_of_node (n : Pag.node) =
+  let ctx_key = function
+    | Context.Corigin (og :: _) -> og
+    | Context.Corigin [] | Context.Cempty -> 0
+    | (Context.Ccall _ | Context.Cobj _) as c -> Context.hash c
+  in
+  match n with
+  | Pag.NVar (_, _, _, ctx) | Pag.NRet (_, _, ctx) -> ctx_key ctx
+  | Pag.NField (oid, _) -> oid
+  | Pag.NStatic (c, f) -> Hashtbl.hash (c, f)
+
+(* -- the round loop ----------------------------------------------------- *)
+
+let analyze ?(policy = Context.Korigin 1) ?(jobs = 1) ?metrics ?budget program
+    =
+  Context.validate_policy policy;
+  if jobs < 1 then invalid_arg "Solver.analyze: jobs must be >= 1";
   let m = match metrics with Some m -> m | None -> Metrics.create () in
   let check =
     match budget with
@@ -404,11 +577,12 @@ let analyze ?(policy = Context.Korigin 1) ?metrics ?budget program =
     | Some b when Budget.is_unlimited b -> None
     | Some b -> Some (fun steps -> Budget.check b ~steps)
   in
+  let pag = Pag.create ~shards:jobs ~shard_of:shard_of_node () in
   let st =
     {
-      program;
-      policy;
-      pag = Pag.create ();
+      t_program = program;
+      t_policy = policy;
+      t_pag = pag;
       reach_tbl = Hashtbl.create 256;
       call_edges = Hashtbl.create 256;
       call_edge_keys = Hashtbl.create 256;
@@ -419,20 +593,91 @@ let analyze ?(policy = Context.Korigin 1) ?metrics ?budget program =
       origin_reg = OriginIntern.create ();
       origin_attr_nodes = Hashtbl.create 64;
       origin_attr_seen = Hashtbl.create 64;
-      stats = m;
-      spawn_arr = [||];
+      has_named = Hashtbl.create 256;
+      field_ids = Hashtbl.create 64;
+      fld_nodes = IntTbl.create 1024;
+      pending = [];
     }
   in
+  Program.iter_methods
+    (fun mm -> Hashtbl.replace st.has_named mm.Program.m_name ())
+    program;
   (* origin id 0 is main *)
   let zero = OriginIntern.intern st.origin_reg Context.main_origin in
   assert (zero = 0);
   let main = Program.main program in
   let ectx = Context.entry policy in
-  Metrics.span m "pta.solve" (fun () ->
-      reach st main ectx;
-      Pag.solve ?check st.pag;
-      (* watchers added during solving may have queued more work *)
-      Pag.solve ?check st.pag);
+  (* [jobs] fixes the shard count (and with it the deterministic facts);
+     the worker pool is additionally clamped to the hardware — extra
+     domains on a narrower machine only add barrier latency, and workers
+     claim whole shards through a cursor either way *)
+  let workers = min jobs (Domain.recommended_domain_count ()) in
+  let pool = if workers > 1 then Some (Pool.create workers) else None in
+  let n_rounds = ref 0 and n_tasks = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      Metrics.span m "pta.solve" (fun () ->
+          a_reach st main ectx;
+          let last_edges = ref 0 in
+          let scc_threshold = ref 1024 in
+          let quiescent = ref false in
+          while not !quiescent do
+            incr n_rounds;
+            let tasks = Array.of_list (List.rev st.pending) in
+            st.pending <- [];
+            n_tasks := !n_tasks + Array.length tasks;
+            (match pool with
+            | Some p when Array.length tasks >= 2 * Pool.size p ->
+                let ops = Array.make (Array.length tasks) [||] in
+                let describe_at i = ops.(i) <- describe st tasks.(i) in
+                (* parallel describe over frozen tables; slots are claimed
+                   through one atomic cursor *)
+                Metrics.time m "pta.describe" (fun () ->
+                    let cursor = Atomic.make 0 in
+                    Pool.run p (fun _ ->
+                        let rec work () =
+                          let i = Atomic.fetch_and_add cursor 1 in
+                          if i < Array.length tasks then begin
+                            describe_at i;
+                            work ()
+                          end
+                        in
+                        work ()));
+                (* serial apply barrier, in task order: interning and graph
+                   mutation happen here in an order independent of [jobs] *)
+                Metrics.time m "pta.apply" (fun () ->
+                    Array.iter
+                      (fun batch -> Array.iter (apply_op st) batch)
+                      ops)
+            | _ ->
+                (* no pool worth feeding: describe and apply fuse into one
+                   pass, skipping the op-batch materialization. Describe is
+                   pure, so the op sequence applied here is exactly the
+                   split path's — facts stay byte-identical *)
+                Metrics.time m "pta.apply" (fun () ->
+                    Array.iter
+                      (fun t -> describe_into st t ~emit:(apply_op st))
+                      tasks));
+            (* adaptive collapse cadence: a Tarjan pass is linear in the
+               whole graph, so an acyclic workload must not pay for one
+               every few edges — each fruitless pass quadruples the edge
+               growth required to try again (deterministic: depends only on
+               the jobs-independent edge counts) *)
+            if Pag.n_edges pag - !last_edges >= !scc_threshold then begin
+              let merged =
+                Metrics.time m "pta.scc" (fun () -> Pag.collapse_sccs pag)
+              in
+              if merged = 0 then scc_threshold := !scc_threshold * 4;
+              last_edges := Pag.n_edges pag
+            end;
+            Metrics.time m "pta.propagate" (fun () ->
+                Pag.propagate ?check ?pool pag);
+            let fired =
+              Metrics.time m "pta.flush" (fun () -> Pag.flush_fires pag)
+            in
+            quiescent := (not fired) && st.pending == []
+          done));
   record_spawn st ~site:(-1) ~entry:main ~ectx ~obj:(-1) ~kind:`Main
     ~in_loop:false ~attr_nodes:[];
   let sps =
@@ -444,91 +689,133 @@ let analyze ?(policy = Context.Korigin 1) ?metrics ?budget program =
            | _, `Main -> 1
            | _ -> compare (a.sp_site, a.sp_obj) (b.sp_site, b.sp_obj))
   in
-  st.spawn_arr <- Array.of_list (List.mapi (fun i sp -> { sp with sp_id = i }) sps);
+  let spawn_arr =
+    Array.of_list (List.mapi (fun i sp -> { sp with sp_id = i }) sps)
+  in
   (* the paper's Table 6 columns plus the solver-internal work counters *)
-  Metrics.set m "pta.pointers" (Pag.n_nodes st.pag);
-  Metrics.set m "pta.objects" (Pag.n_objs st.pag);
-  Metrics.set m "pta.edges" (Pag.n_edges st.pag);
+  Metrics.set m "pta.pointers" (Pag.n_nodes pag);
+  Metrics.set m "pta.objects" (Pag.n_objs pag);
+  Metrics.set m "pta.edges" (Pag.n_edges pag);
   Metrics.set m "pta.reached_methods" (Hashtbl.length st.reach_tbl);
   Metrics.set m "pta.call_edges" st.n_call_edges;
-  Metrics.set m "pta.worklist_iters" (Pag.n_worklist_iters st.pag);
-  Metrics.set m "pta.worklist_pushes" (Pag.n_worklist_pushes st.pag);
-  Metrics.gauge_set m "pta.worklist_peak" (Pag.worklist_peak st.pag);
-  Metrics.set m "pta.pts_adds" (Pag.n_pts_adds st.pag);
-  Metrics.set m "pta.pts_facts" (Pag.n_pts_facts st.pag);
-  Metrics.set m "pta.spawns" (Array.length st.spawn_arr);
+  Metrics.set m "pta.worklist_iters" (Pag.n_worklist_iters pag);
+  Metrics.set m "pta.worklist_pushes" (Pag.n_worklist_pushes pag);
+  Metrics.gauge_set m "pta.worklist_peak" (Pag.worklist_peak pag);
+  Metrics.set m "pta.pts_adds" (Pag.n_pts_adds pag);
+  Metrics.set m "pta.pts_facts" (Pag.n_pts_facts pag);
+  Metrics.set m "pta.rounds" !n_rounds;
+  Metrics.set m "pta.tasks" !n_tasks;
+  Metrics.set m "pta.fires" (Pag.n_fires pag);
+  Metrics.set m "pta.scc_collapsed" (Pag.n_collapsed pag);
+  Metrics.set m "pta.jobs" jobs;
+  Metrics.set m "pta.spawns" (Array.length spawn_arr);
   Metrics.set m "pta.origins"
     (match policy with
     | Context.Korigin _ -> max 0 (OriginIntern.count st.origin_reg - 1)
-    | _ -> max 0 (Array.length st.spawn_arr - 1));
-  st
+    | _ -> max 0 (Array.length spawn_arr - 1));
+  {
+    program;
+    policy;
+    jobs;
+    pag;
+    spawns = spawn_arr;
+    joins = st.join_list;
+    stats = m;
+    tables = st;
+  }
 
-let program t = t.program
-let policy t = t.policy
-let pag t = t.pag
+(* -- queries over a result ---------------------------------------------- *)
 
-let pts_var t (m : Program.meth) ctx v =
-  match
-    Pag.node_id t.pag (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
-  with
-  | id -> Pag.pts t.pag id
+let pts_var r (m : Program.meth) ctx v =
+  Pag.pts r.pag
+    (Pag.node_id r.pag
+       (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx)))
 
-let callees t ~site ~ctx =
-  match Hashtbl.find_opt t.call_edges (site, ctx) with
+let callees r ~site ~ctx =
+  match Hashtbl.find_opt r.tables.call_edges (site, ctx) with
   | Some l -> !l
   | None -> []
 
-let spawns t = t.spawn_arr
-let joins t = t.join_list
+let origins r =
+  Array.init (OriginIntern.count r.tables.origin_reg) (fun i ->
+      OriginIntern.value r.tables.origin_reg i)
 
-let origins t =
-  Array.init (OriginIntern.count t.origin_reg) (fun i ->
-      OriginIntern.value t.origin_reg i)
-
-let origin_attrs t og =
-  match Hashtbl.find_opt t.origin_attr_nodes og with
+let origin_attrs r og =
+  match Hashtbl.find_opt r.tables.origin_attr_nodes og with
   | None -> []
   | Some nodes ->
-      List.concat_map
-        (fun n -> Bitset.elements (Pag.pts t.pag n))
-        !nodes
+      List.concat_map (fun n -> Bitset.elements (Pag.pts r.pag n)) !nodes
       |> List.sort_uniq compare
 
-let reached t =
+let reached r =
   Hashtbl.fold
     (fun (c, mn, ctx) info acc ->
       if not info.processed then acc
       else
-        match Program.find_class t.program c with
+        match Program.find_class r.program c with
         | Some _ -> (
             match
               List.find_opt
                 (fun (m : Program.meth) -> m.Program.m_name = mn)
-                (Program.methods_of t.program c)
+                (Program.methods_of r.program c)
             with
             | Some m -> (m, ctx) :: acc
             | None -> acc)
         | None -> acc)
-    t.reach_tbl []
+    r.tables.reach_tbl []
 
-let is_reached t (m : Program.meth) =
+let is_reached r (m : Program.meth) =
   Hashtbl.fold
     (fun (c, mn, _) info acc ->
       acc
       || (info.processed && c = m.Program.m_class && mn = m.Program.m_name))
-    t.reach_tbl false
+    r.tables.reach_tbl false
 
-let origin_of_spawn t (sp : spawn) =
-  match (t.policy, sp.sp_ectx) with
+let origin_of_spawn r (sp : spawn) =
+  match (r.policy, sp.sp_ectx) with
   | Context.Korigin _, Context.Corigin (og :: _) -> og
   | _ ->
       (* other policies have no origin registry: each spawn is its own
          origin; offset past the registry ids to keep the spaces disjoint *)
-      OriginIntern.count t.origin_reg + sp.sp_id
+      OriginIntern.count r.tables.origin_reg + sp.sp_id
 
-let n_origins t =
-  match t.policy with
-  | Context.Korigin _ -> max 0 (OriginIntern.count t.origin_reg - 1)
-  | _ -> max 0 (Array.length t.spawn_arr - 1)
+let n_origins r =
+  match r.policy with
+  | Context.Korigin _ -> max 0 (OriginIntern.count r.tables.origin_reg - 1)
+  | _ -> max 0 (Array.length r.spawns - 1)
 
-let stats t = t.stats
+let fingerprint r =
+  let kind_name = function
+    | `Main -> "main"
+    | `Thread -> "thread"
+    | `Event -> "event"
+  in
+  Oracle.fingerprint_parts
+    ~origin_of:(fun og -> OriginIntern.value r.tables.origin_reg og)
+    ~iter_nodes:(fun f -> Pag.iter_nodes (fun _ n set -> f n set) r.pag)
+    ~obj_of:(fun oid -> Pag.obj r.pag oid)
+    ~spawns:
+      (Array.to_list r.spawns
+      |> List.map (fun sp ->
+             ( sp.sp_site,
+               kind_name sp.sp_kind,
+               sp.sp_entry,
+               sp.sp_ectx,
+               (if sp.sp_obj < 0 then None else Some (Pag.obj r.pag sp.sp_obj)),
+               sp.sp_in_loop )))
+    ~call_edges:
+      (Hashtbl.fold
+         (fun (site, ctx) l acc ->
+           List.fold_left
+             (fun acc (target, cctx) -> (site, ctx, target, cctx) :: acc)
+             acc !l)
+         r.tables.call_edges [])
+    ~joins:
+      (List.map
+         (fun j ->
+           ( j.jn_site,
+             j.jn_meth.Program.m_class,
+             j.jn_meth.Program.m_name,
+             j.jn_ctx,
+             j.jn_var ))
+         r.joins)

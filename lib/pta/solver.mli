@@ -1,7 +1,7 @@
 (** The on-the-fly-call-graph pointer-analysis solver (Table 2).
 
-    One worklist solver covers all four policies ({!Context.policy}); the
-    origin policy implements the paper's OPA rules:
+    One solver covers all four policies ({!Context.policy}); the origin
+    policy implements the paper's OPA rules:
 
     - ❶–❻ intra-origin constraints: allocations, copies, field and array
       loads/stores under the current context;
@@ -13,6 +13,21 @@
       with the [k=1] wrapper-call-site extension and loop doubling;
     - ❾ origin entry points ([start]/[post]) run the entry method in the
       origin attached to the receiver object at its allocation.
+
+    {2 The round engine}
+
+    The solve alternates {e describe} and {e apply} phases until quiescent.
+    Describe renders each newly reached method instance into a batch of
+    constraint ops against frozen tables — pure, so a round's bodies are
+    described concurrently on a domain pool, with node-key hashing off the
+    serial path. Apply replays the batches serially in task order: all
+    interning and graph mutation happen at this barrier, in an order
+    independent of [jobs], which is why every result — internal ids
+    included — is byte-identical for any shard count. Points-to deltas then
+    propagate across the origin-sharded worklists ({!Pag.propagate}),
+    watcher deliveries flush at the barrier, and newly reached bodies seed
+    the next round. Copy cycles are collapsed ({!Pag.collapse_sccs}) as the
+    graph grows.
 
     Besides points-to sets, the solver records everything the downstream
     analyses need: the context-sensitive call graph, the {e spawns} (static
@@ -45,79 +60,96 @@ type join = {
   jn_var : Types.vname;
 }
 
-type t
+(** The solver's internal fact tables (reachability, call edges, the origin
+    registry). Query them through the functions below. *)
+type tables
 
-exception Analysis_error of string
+(** What a solve produces. The commonly consumed facts are plain fields;
+    table-backed queries ({!pts_var}, {!callees}, {!origins}, …) take the
+    whole record. *)
+type result = {
+  program : Program.t;
+  policy : Context.policy;
+  jobs : int;  (** shard / domain count the solve ran with *)
+  pag : Pag.t;  (** the solved pointer-assignment graph *)
+  spawns : spawn array;  (** all origin instances, [main] first *)
+  joins : join list;  (** join sites; targets resolve via {!pts_var} *)
+  stats : O2_util.Metrics.t;
+      (** the metrics sink the run recorded into — the one passed to
+          {!analyze}, or a private one created when none was *)
+  tables : tables;
+}
 
-(** [analyze ?policy ?metrics ?budget p] runs the whole-program analysis
-    from [main]. Default policy is [Korigin 1] (the paper's O2
+(** [analyze ?policy ?jobs ?metrics ?budget p] runs the whole-program
+    analysis from [main]. Default policy is [Korigin 1] (the paper's O2
     configuration).
+
+    [jobs] is the parallelism degree: the PAG is sharded [jobs] ways by
+    origin and describe/propagate phases run on a pool of [jobs] domains
+    ([1] = fully serial, the default). The result is byte-identical for
+    every [jobs] value.
 
     When [metrics] is given it is used as the observability sink: the solve
     is wrapped in a ["pta.solve"] span and the Table 6 counters
     ([pta.pointers], [pta.objects], [pta.edges], [pta.worklist_iters],
-    [pta.pts_facts], [pta.origins], …) are recorded into it; otherwise a
-    private sink (readable via {!stats}) collects the same numbers.
+    [pta.pts_facts], [pta.origins], …) plus the round-engine counters
+    ([pta.rounds], [pta.tasks], [pta.fires], [pta.scc_collapsed]) are
+    recorded into it.
 
-    When [budget] is given, the worklist loop checks it on every pop and
+    When [budget] is given, the propagation loop checks it on every pop and
     lets {!O2_util.Budget.Exhausted} escape when the wall-clock deadline
     or the worklist-step ceiling is passed — callers (the batch driver)
-    turn that into a structured timeout entry.
+    turn that into a structured timeout entry. The worker pool is shut down
+    on any exit, including exceptions.
 
     @raise Invalid_argument on a k-limited policy with [k < 1]
-    (see {!Context.validate_policy}).
+    (see {!Context.validate_policy}) or [jobs < 1].
     @raise O2_util.Budget.Exhausted when [budget] runs out mid-solve. *)
 val analyze :
   ?policy:Context.policy ->
+  ?jobs:int ->
   ?metrics:O2_util.Metrics.t ->
   ?budget:O2_util.Budget.t ->
   Program.t ->
-  t
+  result
 
-val program : t -> Program.t
-val policy : t -> Context.policy
-val pag : t -> Pag.t
-
-(** [pts_var a m ctx v] is the points-to set of local [v] of method [m]
+(** [pts_var r m ctx v] is the points-to set of local [v] of method [m]
     under context [ctx] (empty if never seen). *)
-val pts_var : t -> Program.meth -> Context.t -> Types.vname -> O2_util.Bitset.t
+val pts_var :
+  result -> Program.meth -> Context.t -> Types.vname -> O2_util.Bitset.t
 
-(** [callees a ~site ~ctx] resolves a call site analyzed under [ctx] to its
+(** [callees r ~site ~ctx] resolves a call site analyzed under [ctx] to its
     callee instances; includes virtual, static and [init] calls, not
     spawns. *)
-val callees : t -> site:int -> ctx:Context.t -> (Program.meth * Context.t) list
+val callees :
+  result -> site:int -> ctx:Context.t -> (Program.meth * Context.t) list
 
-(** [spawns a] lists all origin instances, [main] first. *)
-val spawns : t -> spawn array
-
-(** [joins a] lists join sites; targets resolve via [pts_var]. *)
-val joins : t -> join list
-
-(** [origins a] is the origin registry (origin policy only; other policies
+(** [origins r] is the origin registry (origin policy only; other policies
     see just the main origin). Indexed by origin id. *)
-val origins : t -> Context.origin array
+val origins : result -> Context.origin array
 
-(** [origin_attrs a og] is the points-to closure of origin [og]'s attribute
+(** [origin_attrs r og] is the points-to closure of origin [og]'s attribute
     pointers — "the data pointers" of §3.1, for reports and OSA output. *)
-val origin_attrs : t -> int -> int list
+val origin_attrs : result -> int -> int list
 
-(** [origin_of_spawn a sp] is the canonical origin identity of a spawn.
+(** [origin_of_spawn r sp] is the canonical origin identity of a spawn.
     Under the origin policy two [post] sites delivering to the same handler
     object are the {e same} origin (rule ❾ attaches the origin at the
     allocation), so OSA must not count them as two accessors; under other
     policies each spawn is its own origin. *)
-val origin_of_spawn : t -> spawn -> int
+val origin_of_spawn : result -> spawn -> int
 
-(** [reached a] lists analyzed method instances. *)
-val reached : t -> (Program.meth * Context.t) list
+(** [reached r] lists analyzed method instances. *)
+val reached : result -> (Program.meth * Context.t) list
 
-(** [is_reached a m] is true iff [m] is analyzed under some context. *)
-val is_reached : t -> Program.meth -> bool
+(** [is_reached r m] is true iff [m] is analyzed under some context. *)
+val is_reached : result -> Program.meth -> bool
 
-(** [n_origins a] is the paper's #O: origins excluding main (origin policy),
+(** [n_origins r] is the paper's #O: origins excluding main (origin policy),
     or the number of non-main spawns otherwise. *)
-val n_origins : t -> int
+val n_origins : result -> int
 
-(** [stats a] is the metrics sink the run recorded into — the one passed to
-    {!analyze}, or the private one created when none was. *)
-val stats : t -> O2_util.Metrics.t
+(** [fingerprint r] is the canonical identifier-free dump of all solved
+    facts, in {!Oracle.fingerprint}'s format — equal strings iff the two
+    analyses agree on every fact. *)
+val fingerprint : result -> string

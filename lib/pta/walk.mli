@@ -14,7 +14,7 @@ open O2_ir
     method instance ⟨m, ctx⟩ reachable within origin [sp], in program
     order. *)
 val iter_origin :
-  Solver.t ->
+  Solver.result ->
   Solver.spawn ->
   (Program.meth -> Context.t -> Ast.stmt -> unit) ->
   unit

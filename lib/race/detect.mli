@@ -66,4 +66,4 @@ val analyze :
   ?metrics:O2_util.Metrics.t ->
   ?jobs:int ->
   O2_ir.Program.t ->
-  Solver.t * Graph.t * report
+  Solver.result * Graph.t * report

@@ -26,7 +26,7 @@ let key_of a (r : Detect.race) =
   let field =
     match r.Detect.r_target with
     | Access.Tfield (oid, f) ->
-        let o = Pag.obj (Solver.pag a) oid in
+        let o = Pag.obj (a.Solver.pag) oid in
         o.Pag.ob_class ^ "." ^ f
     | Access.Tstatic (c, f) -> c ^ "::" ^ f
   in

@@ -24,7 +24,7 @@ type delta = {
 }
 
 (** [key_of a race] is the stable descriptor of a detected race. *)
-val key_of : O2_pta.Solver.t -> Detect.race -> race_key
+val key_of : O2_pta.Solver.result -> Detect.race -> race_key
 
 (** [diff ?policy old_p new_p] analyzes both versions and aligns the
     reports. *)

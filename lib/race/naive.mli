@@ -23,4 +23,4 @@ val analyze :
   ?serial_events:bool ->
   ?metrics:O2_util.Metrics.t ->
   O2_ir.Program.t ->
-  O2_pta.Solver.t * Graph.t * Detect.report
+  O2_pta.Solver.result * Graph.t * Detect.report

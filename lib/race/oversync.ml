@@ -80,7 +80,7 @@ let run a osa =
             :: !findings
       in
       visit sp.Solver.sp_entry sp.Solver.sp_ectx)
-    (Solver.spawns a);
+    (a.Solver.spawns);
   (* dedup by site (several origins may run the same region) *)
   let seen = Hashtbl.create 8 in
   {

@@ -21,7 +21,7 @@ val n_findings : report -> int
 (** [run a osa] scans every lock region of every origin. Regions with no
     accesses at all are not reported (empty regions are usually fences in
     disguise). *)
-val run : O2_pta.Solver.t -> O2_osa.Osa.t -> report
+val run : O2_pta.Solver.result -> O2_osa.Osa.t -> report
 
 val analyze : ?policy:O2_pta.Context.policy -> O2_ir.Program.t -> report
 val pp_finding : Format.formatter -> finding -> unit

@@ -3,19 +3,19 @@ open O2_pta
 open O2_shb
 
 let origin_name a id =
-  let sps = Solver.spawns a in
+  let sps = a.Solver.spawns in
   if id < 0 || id >= Array.length sps then Printf.sprintf "origin %d" id
   else
     let sp = sps.(id) in
     match sp.Solver.sp_kind with
     | `Main -> "main thread"
     | `Thread ->
-        let st, _ = Program.stmt (Solver.program a) sp.Solver.sp_site in
+        let st, _ = Program.stmt (a.Solver.program) sp.Solver.sp_site in
         Format.asprintf "thread %s.%s() started at %a"
           sp.Solver.sp_entry.Program.m_class sp.Solver.sp_entry.Program.m_name
           Types.pp_pos st.Ast.pos
     | `Event ->
-        let st, _ = Program.stmt (Solver.program a) sp.Solver.sp_site in
+        let st, _ = Program.stmt (a.Solver.program) sp.Solver.sp_site in
         Format.asprintf "event %s.%s() posted at %a"
           sp.Solver.sp_entry.Program.m_class sp.Solver.sp_entry.Program.m_name
           Types.pp_pos st.Ast.pos
@@ -125,7 +125,7 @@ let to_json a g (report : Detect.report) =
 (* the one render entry point shared by every detector and the CLI *)
 
 type result = {
-  solver : Solver.t;
+  solver : Solver.result;
   graph : Graph.t;
   report : Detect.report;
 }

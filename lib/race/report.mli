@@ -11,7 +11,7 @@ open O2_shb
 (** Everything needed to render a race report. Both detectors return these
     three values; [O2.result] carries them too. *)
 type result = {
-  solver : Solver.t;
+  solver : Solver.result;
   graph : Graph.t;
   report : Detect.report;
 }
@@ -25,18 +25,18 @@ val render :
 
 (** [pp_race a g ppf r] prints one race with both access sites, their
     origins and locksets, in the style of the paper's §5.4 listings. *)
-val pp_race : Solver.t -> Graph.t -> Format.formatter -> Detect.race -> unit
+val pp_race : Solver.result -> Graph.t -> Format.formatter -> Detect.race -> unit
 
 (** [pp a g ppf report] prints the full report with a summary line. *)
-val pp : Solver.t -> Graph.t -> Format.formatter -> Detect.report -> unit
+val pp : Solver.result -> Graph.t -> Format.formatter -> Detect.report -> unit
 
 (** [summary a report] is a one-line summary: #races, #pairs, pruning. *)
-val summary : Solver.t -> Detect.report -> string
+val summary : Solver.result -> Detect.report -> string
 
 (** [origin_name a id] renders an origin (spawn) for messages, e.g.
     ["Thread Worker.run() started at input.cir:12"]. *)
-val origin_name : Solver.t -> int -> string
+val origin_name : Solver.result -> int -> string
 
 (** [to_json a g report] serializes the report as a stable JSON document
     (for CI integration); no external JSON dependency. *)
-val to_json : Solver.t -> Graph.t -> Detect.report -> string
+val to_json : Solver.result -> Graph.t -> Detect.report -> string

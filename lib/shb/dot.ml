@@ -25,7 +25,7 @@ let node_label g (n : Graph.node) =
 
 let origin_label g o =
   let a = Graph.solver g in
-  let sps = Solver.spawns a in
+  let sps = a.Solver.spawns in
   if o >= 0 && o < Array.length sps then
     let sp = sps.(o) in
     match sp.Solver.sp_kind with

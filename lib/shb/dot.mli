@@ -13,4 +13,4 @@ val origins : Format.formatter -> Graph.t -> unit
 
 (** [callgraph ppf a] renders the context-sensitive call graph collapsed to
     method granularity (Figure 2(b)/(c) style). *)
-val callgraph : Format.formatter -> O2_pta.Solver.t -> unit
+val callgraph : Format.formatter -> O2_pta.Solver.result -> unit

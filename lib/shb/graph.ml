@@ -21,7 +21,7 @@ type node = {
 }
 
 type t = {
-  solver : Solver.t;
+  solver : Solver.result;
   locks : Lockset.t;
   mutable all_nodes : node list;  (* reversed during build *)
   mutable nodes_arr : node array;
@@ -194,7 +194,7 @@ let build_origin g (sp : Solver.spawn) spawn_index =
                   g.joins_e <- (sp'.Solver.sp_id, origin, n.n_id) :: g.joins_e;
                   reset_region ()
                 end)
-              (Solver.spawns a)
+              (a.Solver.spawns)
         | _ -> ())
     | Ast.Signal x ->
         let pts = Solver.pts_var a m ctx x in
@@ -353,12 +353,12 @@ let hb_closure_entries g =
     0 g.hb_closure
 
 let build_graph ~serial_events ~lock_region a =
-  let sps = Solver.spawns a in
-  let p = Solver.program a in
+  let sps = a.Solver.spawns in
+  let p = a.Solver.program in
   let self_par =
     Array.map
       (fun (sp : Solver.spawn) ->
-        match Solver.policy a with
+        match a.Solver.policy with
         | Context.Korigin _ ->
             (* §3.2: an origin allocated in a loop is doubled, so races
                between run-time instances surface as races between the two
@@ -371,7 +371,7 @@ let build_graph ~serial_events ~lock_region a =
             sp.Solver.sp_in_loop
             || (sp.Solver.sp_obj >= 0
                &&
-               let o = Pag.obj (Solver.pag a) sp.Solver.sp_obj in
+               let o = Pag.obj (a.Solver.pag) sp.Solver.sp_obj in
                Program.stmt_in_loop p o.Pag.ob_site))
       sps
   in
@@ -411,7 +411,7 @@ let build_graph ~serial_events ~lock_region a =
      a self-parallel origin has as many run-time instances as its parent —
      under the origin policy the parent copies get distinct child origins
      instead, so no propagation is needed there *)
-  (match Solver.policy a with
+  (match a.Solver.policy with
   | Context.Korigin _ -> ()
   | _ ->
       let changed = ref true in

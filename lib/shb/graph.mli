@@ -53,10 +53,10 @@ val build :
   ?serial_events:bool ->
   ?lock_region:bool ->
   ?metrics:O2_util.Metrics.t ->
-  Solver.t ->
+  Solver.result ->
   t
 
-val solver : t -> Solver.t
+val solver : t -> Solver.result
 val locks : t -> Lockset.t
 
 (** [accesses g] lists all read/write access nodes, id-ascending. *)

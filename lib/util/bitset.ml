@@ -1,8 +1,19 @@
-type t = { mutable words : int array }
+(* [top] is a cached upper bound on content: every nonzero word index is
+   < [top], and [top] <= capacity. Mutators maintain it monotonically;
+   [top_word] trims it back to the exact bound. It exists so the hot
+   worklist operations of the PTA solver scan live content, never
+   capacity — capacities track the highest id ever seen while deltas are
+   usually near-singletons. *)
+type t = { mutable words : int array; mutable top : int }
 
 let word_bits = Sys.int_size
 
-let create () = { words = Array.make 4 0 }
+(* Freshly created sets own a shared zero-length array until the first
+   [ensure]: the PAG allocates pts/delta/pending sets for every interned
+   node up front, and most never grow past empty. *)
+let empty_words : int array = [||]
+
+let create () = { words = empty_words; top = 0 }
 
 let ensure s i =
   let w = i / word_bits in
@@ -26,6 +37,7 @@ let add s i =
   if nw = old then false
   else begin
     s.words.(w) <- nw;
+    if w >= s.top then s.top <- w + 1;
     true
   end
 
@@ -34,7 +46,7 @@ let singleton i =
   ignore (add s i);
   s
 
-let copy s = { words = Array.copy s.words }
+let copy s = { words = Array.copy s.words; top = s.top }
 
 let mem s i =
   if i < 0 then false
@@ -42,11 +54,24 @@ let mem s i =
     let w = i / word_bits in
     w < Array.length s.words && s.words.(w) land (1 lsl (i mod word_bits)) <> 0
 
+(* Index just past the last nonzero word. Starts from the cached [top] and
+   trims it, so repeated calls on a stable set are O(1). *)
+let top_word s =
+  let i = ref s.top in
+  while !i > 0 && s.words.(!i - 1) = 0 do
+    decr i
+  done;
+  s.top <- !i;
+  !i
+
 let union_into ~into src =
-  ensure into ((Array.length src.words * word_bits) - 1 |> max 0);
-  let changed = ref false in
-  Array.iteri
-    (fun w sw ->
+  let hi = top_word src in
+  if hi = 0 then false
+  else begin
+    ensure into ((hi * word_bits) - 1);
+    let changed = ref false in
+    for w = 0 to hi - 1 do
+      let sw = src.words.(w) in
       if sw <> 0 then begin
         let old = into.words.(w) in
         let nw = old lor sw in
@@ -54,9 +79,31 @@ let union_into ~into src =
           into.words.(w) <- nw;
           changed := true
         end
-      end)
-    src.words;
-  !changed
+      end
+    done;
+    if !changed && hi > into.top then into.top <- hi;
+    !changed
+  end
+
+(* [union_span_into ~into src ~lo ~hi] unions words [lo,hi) of [src] into
+   [into] — the caller (the worklist drain) knows the span holding fresh
+   bits and skips the rest. *)
+let union_span_into ~into src ~lo ~hi =
+  if hi > lo then begin
+    ensure into ((hi * word_bits) - 1);
+    for w = lo to hi - 1 do
+      let sw = src.words.(w) in
+      if sw <> 0 then into.words.(w) <- into.words.(w) lor sw
+    done;
+    if hi > into.top then into.top <- hi
+  end
+
+(* [copy_span src ~lo ~hi] is a fresh bitset holding exactly words [lo,hi)
+   of [src]. *)
+let copy_span src ~lo ~hi =
+  let a = Array.make (max hi 0) 0 in
+  if hi > lo then Array.blit src.words lo a lo (hi - lo);
+  { words = a; top = max hi 0 }
 
 let iter_word f w base =
   if w <> 0 then
@@ -64,7 +111,11 @@ let iter_word f w base =
       if w land (1 lsl b) <> 0 then f (base + b)
     done
 
-let iter f s = Array.iteri (fun wi w -> iter_word f w (wi * word_bits)) s.words
+let iter f s =
+  let hi = top_word s in
+  for wi = 0 to hi - 1 do
+    iter_word f s.words.(wi) (wi * word_bits)
+  done
 
 let fold f s acc =
   let acc = ref acc in
@@ -92,7 +143,15 @@ let popcount w =
   !c
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
-let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let cardinal_span s ~lo ~hi =
+  let acc = ref 0 in
+  for w = lo to min hi (Array.length s.words) - 1 do
+    acc := !acc + popcount s.words.(w)
+  done;
+  !acc
+
+let is_empty s = top_word s = 0
 
 let exists p s =
   try
@@ -116,6 +175,87 @@ let subset a b =
   !ok
 
 let equal a b = subset a b && subset b a
+
+let clear s =
+  Array.fill s.words 0 (Array.length s.words) 0;
+  s.top <- 0
+
+(* [take_fresh_span ~scratch ~pts ~delta] is the span-returning core of
+   the allocation-free pop: fresh elements land in [scratch] and the
+   result is the word span [lo, hi) holding them ([(0, 0)] when none).
+   Scratch words inside the span are written exactly; words outside are
+   stale from earlier pops — consumers must stay within the span. Cost is
+   bounded by the delta's live content, not anyone's capacity. *)
+let take_fresh_span ~scratch ~pts ~delta =
+  let nd = top_word delta in
+  if nd = 0 then (0, 0)
+  else begin
+    ensure pts ((nd * word_bits) - 1);
+    ensure scratch ((nd * word_bits) - 1);
+    (* first nonzero delta word: writes below are bounded by the delta's
+       nonzero span, so a lone high id costs one word, not a prefix scan *)
+    let first = ref 0 in
+    while delta.words.(!first) = 0 do
+      incr first
+    done;
+    let lo = ref nd and hi = ref 0 in
+    for w = !first to nd - 1 do
+      let dw = delta.words.(w) in
+      let f =
+        if dw = 0 then 0
+        else begin
+          delta.words.(w) <- 0;
+          dw land lnot pts.words.(w)
+        end
+      in
+      scratch.words.(w) <- f;
+      if f <> 0 then begin
+        if w < !lo then lo := w;
+        hi := w + 1;
+        pts.words.(w) <- pts.words.(w) lor f
+      end
+    done;
+    delta.top <- 0;
+    if !hi = 0 then (0, 0)
+    else begin
+      if !hi > pts.top then pts.top <- !hi;
+      if !hi > scratch.top then scratch.top <- !hi;
+      (!lo, !hi)
+    end
+  end
+
+let take_fresh_into ~scratch ~pts ~delta =
+  let _, hi = take_fresh_span ~scratch ~pts ~delta in
+  hi > 0
+
+let take_fresh ~pts ~delta =
+  let nd = Array.length delta.words in
+  if nd = 0 then None
+  else begin
+    ensure pts (max 0 ((nd * word_bits) - 1));
+    let fresh = Array.make nd 0 in
+    let any = ref false in
+    let hi = ref 0 in
+    for w = 0 to nd - 1 do
+      let dw = delta.words.(w) in
+      if dw <> 0 then begin
+        let f = dw land lnot pts.words.(w) in
+        if f <> 0 then begin
+          any := true;
+          fresh.(w) <- f;
+          hi := w + 1;
+          pts.words.(w) <- pts.words.(w) lor f
+        end;
+        delta.words.(w) <- 0
+      end
+    done;
+    delta.top <- 0;
+    if !any then begin
+      if !hi > pts.top then pts.top <- !hi;
+      Some { words = fresh; top = !hi }
+    end
+    else None
+  end
 
 let pp ppf s =
   Format.fprintf ppf "{%a}"

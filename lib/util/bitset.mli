@@ -30,6 +30,42 @@ val union_into : into:t -> t -> bool
     [minus] — the "delta" driving difference propagation. *)
 val diff_new : from:t -> minus:t -> int list
 
+(** [clear s] empties [s] in place, keeping its capacity. *)
+val clear : t -> unit
+
+(** [take_fresh_span ~scratch ~pts ~delta] is {!take_fresh} without the
+    allocation: fresh elements are written into [scratch] and the word
+    span [lo, hi) holding them is returned ([(0, 0)] when there were
+    none). Scratch words outside the span are stale from earlier calls —
+    consumers must stay within the span (see {!union_span_into},
+    {!copy_span}, {!cardinal_span}). The worklist drain reuses one
+    scratch set per shard, so the hot pop allocates nothing, and all
+    downstream work is bounded by the delta's live content. *)
+val take_fresh_span : scratch:t -> pts:t -> delta:t -> int * int
+
+(** [take_fresh_into ~scratch ~pts ~delta] is {!take_fresh_span} reduced
+    to whether any fresh element was found. *)
+val take_fresh_into : scratch:t -> pts:t -> delta:t -> bool
+
+(** [union_span_into ~into src ~lo ~hi] unions words [lo, hi) of [src]
+    into [into]. *)
+val union_span_into : into:t -> t -> lo:int -> hi:int -> unit
+
+(** [copy_span src ~lo ~hi] is a fresh bitset holding exactly words
+    [lo, hi) of [src]. *)
+val copy_span : t -> lo:int -> hi:int -> t
+
+(** [cardinal_span s ~lo ~hi] counts elements in words [lo, hi). *)
+val cardinal_span : t -> lo:int -> hi:int -> int
+
+(** [take_fresh ~pts ~delta] commits a pending delta: the elements of
+    [delta] not yet in [pts] are added to [pts] and returned as a fresh
+    bitset; [delta] is cleared. [None] when every candidate was already
+    known. This is the word-parallel pop of the difference-propagation
+    worklist — candidates may be enqueued redundantly, deduplication
+    happens here. *)
+val take_fresh : pts:t -> delta:t -> t option
+
 (** [cardinal s] is the number of elements. O(words). *)
 val cardinal : t -> int
 

@@ -1,17 +1,50 @@
 module Make (H : Hashtbl.HashedType) = struct
-  module Tbl = Hashtbl.Make (H)
+  (* A hand-rolled bucket table rather than [Hashtbl.Make], for two
+     capabilities the stdlib cannot offer: interning with an externally
+     precomputed hash (the parallel describe phases of the PTA solver hash
+     keys off the serial path) and lock-free concurrent lookups while the
+     table is frozen (no writer). Reads never mutate the structure. *)
+  type slot = { s_hash : int; s_key : H.t; s_id : int }
 
-  type t = { ids : int Tbl.t; mutable values : H.t array; mutable next : int }
+  type t = {
+    mutable buckets : slot list array;  (* length always a power of two *)
+    mutable values : H.t array;
+    mutable next : int;
+  }
 
-  let create () = { ids = Tbl.create 64; values = [||]; next = 0 }
+  let create () = { buckets = Array.make 16 []; values = [||]; next = 0 }
 
-  let intern t v =
-    match Tbl.find_opt t.ids v with
-    | Some id -> id
-    | None ->
+  let hash_key = H.hash
+
+  let find_hashed t ~hash v =
+    let b = t.buckets.(hash land (Array.length t.buckets - 1)) in
+    let rec go = function
+      | [] -> -1
+      | s :: tl ->
+          if s.s_hash = hash && H.equal s.s_key v then s.s_id else go tl
+    in
+    go b
+
+  let resize t =
+    let old = t.buckets in
+    let n' = Array.length old * 2 in
+    let fresh = Array.make n' [] in
+    Array.iter
+      (List.iter (fun s ->
+           let i = s.s_hash land (n' - 1) in
+           fresh.(i) <- s :: fresh.(i)))
+      old;
+    t.buckets <- fresh
+
+  let intern_hashed t ~hash v =
+    match find_hashed t ~hash v with
+    | id when id >= 0 -> id
+    | _ ->
         let id = t.next in
         t.next <- id + 1;
-        Tbl.add t.ids v id;
+        if id > 2 * Array.length t.buckets then resize t;
+        let i = hash land (Array.length t.buckets - 1) in
+        t.buckets.(i) <- { s_hash = hash; s_key = v; s_id = id } :: t.buckets.(i);
         let cap = Array.length t.values in
         if id >= cap then begin
           let a = Array.make (max 8 (cap * 2)) v in
@@ -21,7 +54,12 @@ module Make (H : Hashtbl.HashedType) = struct
         t.values.(id) <- v;
         id
 
-  let find_opt t v = Tbl.find_opt t.ids v
+  let intern t v = intern_hashed t ~hash:(H.hash v) v
+
+  let find_opt t v =
+    match find_hashed t ~hash:(H.hash v) v with
+    | -1 -> None
+    | id -> Some id
 
   let value t id =
     if id < 0 || id >= t.next then invalid_arg "Intern.value: unknown id";

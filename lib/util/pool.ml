@@ -1,0 +1,96 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable gen : int;
+  mutable pending : int;
+  mutable failures : (int * exn) list;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker t shard =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.gen = !seen do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.gen;
+      let f = match t.job with Some f -> f | None -> fun _ -> () in
+      Mutex.unlock t.mutex;
+      let failure = try f shard; None with e -> Some e in
+      Mutex.lock t.mutex;
+      (match failure with
+      | Some e -> t.failures <- (shard, e) :: t.failures
+      | None -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  let n = max 1 n in
+  let t =
+    {
+      size = n;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      gen = 0;
+      pending = 0;
+      failures = [];
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (n - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let size t = t.size
+
+let run t f =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some f;
+    t.failures <- [];
+    t.pending <- t.size - 1;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    let mine = try f 0; None with e -> Some e in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    t.job <- None;
+    (* deterministic choice: the caller's own failure wins, then the
+       lowest-numbered shard's *)
+    let others =
+      List.sort (fun (a, _) (b, _) -> compare a b) t.failures
+    in
+    t.failures <- [];
+    Mutex.unlock t.mutex;
+    match (mine, others) with
+    | Some e, _ -> raise e
+    | None, (_, e) :: _ -> raise e
+    | None, [] -> ()
+  end
+
+let shutdown t =
+  if t.size > 1 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

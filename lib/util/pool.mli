@@ -1,0 +1,30 @@
+(** A persistent pool of worker domains for bulk-synchronous phases.
+
+    The PTA solver alternates short parallel phases (describe constraint
+    batches, drain per-shard worklists) with serial barriers, many times per
+    solve. [Domain.spawn] per phase would dominate the phase cost, so the
+    pool spawns [n - 1] worker domains once and reuses them; the calling
+    domain participates as shard 0.
+
+    {!run} is a barrier: it returns only after every shard finished. Worker
+    exceptions are captured and re-raised in the caller (caller's own
+    exception first, then the lowest shard's), leaving the pool reusable —
+    this is how {!O2_util.Budget.Exhausted} escapes a parallel solve. *)
+
+type t
+
+(** [create n] spawns [n - 1] worker domains ([n <= 1] spawns none and
+    {!run} degenerates to a plain call). *)
+val create : int -> t
+
+(** [size t] is the shard count [n]. *)
+val size : t -> int
+
+(** [run t f] executes [f shard] for every [shard] in [0 .. size - 1]
+    concurrently and waits for all of them. Do not nest or overlap calls on
+    the same pool. *)
+val run : t -> (int -> unit) -> unit
+
+(** [shutdown t] terminates and joins the workers. Idempotent; the pool
+    must not be used afterwards. *)
+val shutdown : t -> unit

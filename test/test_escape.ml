@@ -9,7 +9,7 @@ let run ?(policy = Context.Korigin 1) p =
 
 let classes_of a oids =
   List.map
-    (fun oid -> (Pag.obj (Solver.pag a) oid).Pag.ob_class)
+    (fun oid -> (Pag.obj (a.Solver.pag) oid).Pag.ob_class)
     oids
   |> List.sort_uniq compare
 

@@ -198,7 +198,7 @@ let test_scaling_generator_linear () =
 (* the full pipeline via the O2 facade *)
 let test_o2_facade () =
   let m = O2_workloads.Models.find "memcached" in
-  let r = O2.analyze (m.program ()) in
+  let r = O2.run O2.Config.default (m.program ()) in
   check_int "races via facade" 3 (O2.n_races r);
   check_bool "elapsed recorded" true (r.O2.elapsed >= 0.0);
   check_bool "origins" true (O2.n_origins r >= 3);

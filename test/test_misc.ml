@@ -97,7 +97,7 @@ let test_origin_attributes () =
   let ogs = Solver.origins a in
   check_int "main + two thread origins" 3 (Array.length ogs);
   (* each non-main origin carries the shared Data plus its own Op *)
-  let pag = Solver.pag a in
+  let pag = a.Solver.pag in
   let classes_of i =
     List.map
       (fun oid -> (Pag.obj pag oid).Pag.ob_class)

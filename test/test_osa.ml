@@ -49,7 +49,7 @@ let test_shared_detected () =
       (fun (sh : O2_osa.Osa.sharing) ->
         match sh.sh_target with
         | Access.Tfield (oid, "v") ->
-            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+            (Pag.obj (a.Solver.pag) oid).Pag.ob_class = "Data"
         | _ -> false)
       shared
   in
@@ -63,7 +63,7 @@ let test_local_not_shared () =
       (fun (sh : O2_osa.Osa.sharing) ->
         match sh.sh_target with
         | Access.Tfield (oid, _) ->
-            let o = Pag.obj (Solver.pag a) oid in
+            let o = Pag.obj (a.Solver.pag) oid in
             (* loc allocs are inside run(): their heap ctx is a thread
                origin, and they must not be shared *)
             o.Pag.ob_class = "Data"
@@ -116,7 +116,7 @@ let test_readers_vs_writers () =
       (fun (sh : O2_osa.Osa.sharing) ->
         match sh.sh_target with
         | Access.Tfield (oid, "v") ->
-            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+            (Pag.obj (a.Solver.pag) oid).Pag.ob_class = "Data"
         | _ -> false)
       (O2_osa.Osa.shared_locations osa)
   in
@@ -153,7 +153,7 @@ let test_read_only_not_shared () =
       (fun (sh : O2_osa.Osa.sharing) ->
         match sh.sh_target with
         | Access.Tfield (oid, "v") ->
-            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+            (Pag.obj (a.Solver.pag) oid).Pag.ob_class = "Data"
         | _ -> false)
       (O2_osa.Osa.shared_locations osa)
   in
@@ -219,7 +219,7 @@ let test_array_sharing () =
       (fun (sh : O2_osa.Osa.sharing) ->
         match sh.sh_target with
         | Access.Tfield (oid, "*") ->
-            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Arr"
+            (Pag.obj (a.Solver.pag) oid).Pag.ob_class = "Arr"
         | _ -> false)
       (O2_osa.Osa.shared_locations osa)
   in
@@ -235,7 +235,7 @@ let test_counts_figure2 () =
 
 let test_origin_local_report () =
   let a, osa = run_osa (shared_and_local ()) in
-  let sps = Solver.spawns a in
+  let sps = a.Solver.spawns in
   let thread_sp =
     Array.to_list sps |> List.find (fun (s : Solver.spawn) -> s.sp_kind = `Thread)
   in

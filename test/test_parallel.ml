@@ -1,0 +1,202 @@
+(* The parallel solver's contract: for ANY shard count, the round-based
+   difference-propagation engine computes byte-for-byte the facts of the
+   serial reference solver (Oracle), and the whole pipeline's output is
+   byte-identical across [jobs]. Plus unit coverage for the cycle-collapsing
+   and difference-propagation primitives the engine is built on. *)
+
+open O2_pta
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* [O2_TEST_JOBS="1,2,8"] widens the matrix, e.g. on a many-core machine *)
+let jobs_list =
+  match Sys.getenv_opt "O2_TEST_JOBS" with
+  | Some s ->
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string
+  | None -> [ 1; 2; 4 ]
+
+let policies =
+  [
+    Context.Insensitive;
+    Context.Kcfa 2;
+    Context.Kobj 2;
+    Context.Korigin 1;
+  ]
+
+(* ---------------- engine ≡ oracle, for every jobs value ---------------- *)
+
+let test_oracle_equivalence () =
+  List.iter
+    (fun (m : O2_workloads.Models.model) ->
+      List.iter
+        (fun (name, program) ->
+          List.iter
+            (fun policy ->
+              let p = program () in
+              let want = Oracle.fingerprint (Oracle.analyze ~policy p) in
+              List.iter
+                (fun jobs ->
+                  let got =
+                    Solver.fingerprint (Solver.analyze ~policy ~jobs p)
+                  in
+                  check_str
+                    (Printf.sprintf "%s/%s/jobs=%d" name
+                       (Context.policy_name policy) jobs)
+                    want got)
+                jobs_list)
+            policies)
+        [ (m.name, m.program); (m.name ^ "_fixed", m.fixed) ])
+    O2_workloads.Models.all
+
+(* internal ids — not just facts — must be jobs-independent: interning
+   happens only at serial barriers in deterministic task order *)
+let test_id_determinism () =
+  let m = O2_workloads.Models.find "zookeeper" in
+  let base = Solver.analyze ~jobs:1 (m.program ()) in
+  List.iter
+    (fun jobs ->
+      let r = Solver.analyze ~jobs (m.program ()) in
+      check_int
+        (Printf.sprintf "n_nodes jobs=%d" jobs)
+        (Pag.n_nodes base.Solver.pag)
+        (Pag.n_nodes r.Solver.pag);
+      check_int
+        (Printf.sprintf "n_objs jobs=%d" jobs)
+        (Pag.n_objs base.Solver.pag)
+        (Pag.n_objs r.Solver.pag);
+      check_int
+        (Printf.sprintf "pts_adds jobs=%d" jobs)
+        (Pag.n_pts_adds base.Solver.pag)
+        (Pag.n_pts_adds r.Solver.pag);
+      Pag.iter_nodes
+        (fun id n _ ->
+          if Pag.node r.Solver.pag id <> n then
+            Alcotest.failf "node id %d differs under jobs=%d" id jobs)
+        base.Solver.pag)
+    jobs_list
+
+(* the full pipeline — solve, SHB, detection, OSA, rendering — is
+   byte-identical across jobs *)
+let test_pipeline_byte_identity () =
+  List.iter
+    (fun (m : O2_workloads.Models.model) ->
+      let render jobs =
+        let r =
+          O2.run { O2.Config.default with O2.Config.jobs } (m.program ())
+        in
+        O2.render ~format:`Json r
+      in
+      let want = render 1 in
+      List.iter
+        (fun jobs ->
+          if jobs <> 1 then
+            check_str
+              (Printf.sprintf "%s jobs=%d" m.name jobs)
+              want (render jobs))
+        jobs_list)
+    O2_workloads.Models.all
+
+(* ---------------- cycle collapsing ---------------- *)
+
+let nvar v = Pag.NVar ("C", "m", v, Context.Cempty)
+let mkobj g site = Pag.obj_id g { Pag.ob_site = site; ob_class = "O"; ob_hctx = Context.Cempty }
+
+let test_scc_collapse () =
+  let g = Pag.create () in
+  let a = Pag.node_id g (nvar "a") in
+  let b = Pag.node_id g (nvar "b") in
+  let c = Pag.node_id g (nvar "c") in
+  let d = Pag.node_id g (nvar "d") in
+  (* a -> b -> c -> a cycle, with an exit edge c -> d *)
+  Pag.add_copy g ~src:a ~dst:b;
+  Pag.add_copy g ~src:b ~dst:c;
+  Pag.add_copy g ~src:c ~dst:a;
+  Pag.add_copy g ~src:c ~dst:d;
+  let o1 = mkobj g 1 in
+  Pag.add_obj g a o1;
+  Pag.solve g;
+  let merged = Pag.collapse_sccs g in
+  check_int "two members aliased onto the rep" 2 merged;
+  check_int "n_collapsed counter" 2 (Pag.n_collapsed g);
+  let rep = Pag.find g a in
+  check_int "b joins a's class" rep (Pag.find g b);
+  check_int "c joins a's class" rep (Pag.find g c);
+  check_bool "d stays out" true (Pag.find g d <> rep);
+  (* aliased ids keep answering pts queries *)
+  List.iter
+    (fun n -> check_int "cycle member sees o1" 1 (O2_util.Bitset.cardinal (Pag.pts g n)))
+    [ a; b; c; d ];
+  (* propagation through the collapsed class still reaches the exit *)
+  let o2 = mkobj g 2 in
+  Pag.add_obj g b o2;
+  Pag.solve g;
+  List.iter
+    (fun n -> check_int "new obj flows everywhere" 2 (O2_util.Bitset.cardinal (Pag.pts g n)))
+    [ a; b; c; d ]
+
+let test_scc_watched_excluded () =
+  let g = Pag.create () in
+  let a = Pag.node_id g (nvar "a") in
+  let b = Pag.node_id g (nvar "b") in
+  Pag.add_copy g ~src:a ~dst:b;
+  Pag.add_copy g ~src:b ~dst:a;
+  let fired = ref [] in
+  Pag.add_watcher g a (fun o -> fired := o :: !fired);
+  let merged = Pag.collapse_sccs g in
+  (* the only unwatched member is [b]: nothing to merge *)
+  check_int "watched cycle left alone" 0 merged;
+  check_bool "a not aliased" true (Pag.find g a = a);
+  check_bool "b not aliased" true (Pag.find g b = b);
+  let o1 = mkobj g 1 in
+  Pag.add_obj g b o1;
+  Pag.solve g;
+  check_int "watcher saw the object" 1 (List.length !fired)
+
+(* ---------------- difference-propagation primitive ---------------- *)
+
+let test_take_fresh () =
+  let pts = O2_util.Bitset.create () in
+  let delta = O2_util.Bitset.create () in
+  ignore (O2_util.Bitset.add pts 3);
+  ignore (O2_util.Bitset.add delta 3);
+  (* redundant candidate *)
+  ignore (O2_util.Bitset.add delta 65);
+  (* fresh, in a higher word *)
+  (match O2_util.Bitset.take_fresh ~pts ~delta with
+  | None -> Alcotest.fail "expected fresh objects"
+  | Some fresh ->
+      check_int "one fresh bit" 1 (O2_util.Bitset.cardinal fresh);
+      check_bool "the fresh bit is 65" true (O2_util.Bitset.mem fresh 65));
+  check_bool "fresh committed to pts" true (O2_util.Bitset.mem pts 65);
+  check_bool "delta drained" true (O2_util.Bitset.is_empty delta);
+  (* a fully redundant delta pops to nothing *)
+  ignore (O2_util.Bitset.add delta 3);
+  ignore (O2_util.Bitset.add delta 65);
+  check_bool "no fresh on redundant pop" true
+    (O2_util.Bitset.take_fresh ~pts ~delta = None)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "fingerprints: engine = oracle" `Quick
+            test_oracle_equivalence;
+          Alcotest.test_case "ids independent of jobs" `Quick
+            test_id_determinism;
+          Alcotest.test_case "pipeline byte-identity" `Quick
+            test_pipeline_byte_identity;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "copy cycle collapses" `Quick test_scc_collapse;
+          Alcotest.test_case "watched nodes excluded" `Quick
+            test_scc_watched_excluded;
+        ] );
+      ( "delta",
+        [ Alcotest.test_case "take_fresh dedups" `Quick test_take_fresh ] );
+    ]

@@ -17,7 +17,7 @@ let pts_classes a mname v =
       then
         O2_util.Bitset.iter
           (fun oid ->
-            let o = Pag.obj (Solver.pag a) oid in
+            let o = Pag.obj (a.Solver.pag) oid in
             out := o.Pag.ob_class :: !out)
           (Solver.pts_var a m ctx v))
     (Solver.reached a);
@@ -210,7 +210,7 @@ let test_rule_origin_entry () =
   let a = analyze p in
   (* the entry body is reached and sees the constructor argument *)
   Alcotest.(check (list string)) "attr flows" [ "A" ] (pts_classes a "run" "x");
-  let sps = Solver.spawns a in
+  let sps = a.Solver.spawns in
   check_int "spawns" 2 (Array.length sps);
   check_bool "thread spawn" true
     (Array.exists (fun (s : Solver.spawn) -> s.sp_kind = `Thread) sps);
@@ -331,7 +331,7 @@ let test_loop_doubling () =
   in
   let a = analyze p in
   check_int "#O doubled" 2 (Solver.n_origins a);
-  check_int "two spawned origins" 3 (Array.length (Solver.spawns a));
+  check_int "two spawned origins" 3 (Array.length (a.Solver.spawns));
   (* outside a loop: one *)
   let p1 =
     prog ~main:"M"
@@ -450,7 +450,7 @@ let test_post_event () =
   check_bool "event spawn" true
     (Array.exists
        (fun (s : Solver.spawn) -> s.sp_kind = `Event)
-       (Solver.spawns a))
+       (a.Solver.spawns))
 
 (* start on a non-thread object is ignored, no crash *)
 let test_start_non_thread () =
@@ -463,7 +463,7 @@ let test_start_non_thread () =
       ]
   in
   let a = analyze p in
-  check_int "only main spawn" 1 (Array.length (Solver.spawns a))
+  check_int "only main spawn" 1 (Array.length (a.Solver.spawns))
 
 (* recursion terminates under every policy *)
 let test_recursion_terminates () =
@@ -501,7 +501,7 @@ let test_joins_recorded () =
       ]
   in
   let a = analyze p in
-  check_int "one join" 1 (List.length (Solver.joins a))
+  check_int "one join" 1 (List.length (a.Solver.joins))
 
 (* precision refinement: OPA points-to ⊆ 0-ctx points-to, per class set *)
 let prop_opa_refines_0ctx =
@@ -519,7 +519,7 @@ let prop_opa_refines_0ctx =
               (fun v ->
                 O2_util.Bitset.fold
                   (fun oid acc ->
-                    let o = Pag.obj (Solver.pag a) oid in
+                    let o = Pag.obj (a.Solver.pag) oid in
                     (m.Program.m_class, m.Program.m_name, v, o.Pag.ob_class)
                     :: acc)
                   (Solver.pts_var a m ctx v)
@@ -539,10 +539,10 @@ let prop_deterministic =
       let p = O2_test_helpers.Gen.program_of_spec spec in
       let run () =
         let a = analyze p in
-        ( Pag.n_nodes (Solver.pag a),
-          Pag.n_objs (Solver.pag a),
-          Pag.n_edges (Solver.pag a),
-          Array.length (Solver.spawns a),
+        ( Pag.n_nodes (a.Solver.pag),
+          Pag.n_objs (a.Solver.pag),
+          Pag.n_edges (a.Solver.pag),
+          Array.length (a.Solver.spawns),
           Solver.n_origins a )
       in
       run () = run ())

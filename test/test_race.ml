@@ -320,7 +320,7 @@ let test_double_post_one_origin () =
       (fun (sh : O2_osa.Osa.sharing) ->
         match sh.sh_target with
         | Access.Tfield (oid, "v") ->
-            (Pag.obj (Solver.pag a) oid).Pag.ob_class = "Data"
+            (Pag.obj (a.Solver.pag) oid).Pag.ob_class = "Data"
         | _ -> false)
       (O2_osa.Osa.shared_locations osa)
   in

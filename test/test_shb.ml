@@ -461,14 +461,14 @@ let test_self_parallel_loop_spawn () =
   (* under 0-ctx: one abstract origin, self-parallel *)
   let _, g0 = build ~policy:Context.Insensitive p in
   let self_par_exists =
-    Array.length (Solver.spawns (Graph.solver g0)) > 1
+    Array.length ((Graph.solver g0).Solver.spawns) > 1
     && Graph.self_parallel g0 1
   in
   check_bool "0-ctx marks loop spawn self-parallel" true self_par_exists;
   (* under OPA: doubled instead *)
   let _, gO = build ~policy:(Context.Korigin 1) p in
   check_int "origin policy doubles" 3
-    (Array.length (Solver.spawns (Graph.solver gO)));
+    (Array.length ((Graph.solver gO).Solver.spawns));
   check_bool "copies not self-parallel" false
     (Graph.self_parallel gO 1 || Graph.self_parallel gO 2)
 
