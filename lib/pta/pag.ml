@@ -23,10 +23,12 @@ module NodeIntern = Intern.Make (struct
   let hash = Hashtbl.hash
 end)
 
-(* Copy edges are deduplicated on the packed key [src lsl 31 lor dst] (node
-   ids stay far below 2^31): a single-int key makes the per-probe cost one
-   multiply-hash with no tuple allocation — [add_copy] runs once per
-   watcher delivery, the solve's hottest table path. *)
+(* Copy edges are deduplicated on the packed key [src lsl 31 lor dst]: a
+   single-int key makes the per-probe cost one multiply-hash with no tuple
+   allocation — [add_copy] runs once per watcher delivery, the solve's
+   hottest table path. Node ids stay far below the 2^31 packing bound in
+   practice; the guard makes an overflow fail loudly instead of silently
+   merging unrelated edges. *)
 module EdgeTbl = Hashtbl.Make (struct
   type t = int
 
@@ -34,7 +36,10 @@ module EdgeTbl = Hashtbl.Make (struct
   let hash x = (x * 0x9e3779b1) land max_int
 end)
 
-let edge_key src dst = (src lsl 31) lor dst
+let edge_key src dst =
+  if (src lor dst) lsr 31 <> 0 then
+    invalid_arg "Pag.edge_key: node id exceeds the 31-bit packing bound";
+  (src lsl 31) lor dst
 
 (* Difference-propagation invariant: [pts.(n)] holds the confirmed
    points-to set of [n]; [delta.(n)] holds pending {e candidates} (they may
@@ -78,11 +83,15 @@ type t = {
       (* per-shard scratch for [Bitset.take_fresh_into]: the drain pop
          allocates nothing *)
   (* plain-int instrumentation, always on (no allocation, flushed into a
-     Metrics sink by the solver at the end of the run) *)
-  mutable wl_len : int;
-  mutable wl_peak : int;
+     Metrics sink by the solver at the end of the run). The scheduling
+     counters live in per-shard slots: during a parallel drain a shard
+     schedules and pops only nodes it owns, so each slot is written by
+     exactly one domain, and the accessor fold at the end is exact —
+     unlike a shared scalar, which would race. *)
+  wl_n : int array;  (* per-shard current worklist lengths *)
+  wl_peak : int array;  (* per-shard peak worklist lengths *)
+  wl_pushes : int array;  (* per-shard scheduling counts *)
   mutable n_wl_iters : int;
-  mutable n_wl_pushes : int;
   mutable n_pts_adds : int;
   mutable n_fires : int;
   mutable n_collapsed : int;
@@ -110,10 +119,10 @@ let create ?(shards = 1) ?(shard_of = fun _ -> 0) () =
     outbox = Array.init shards (fun _ -> Array.make shards []);
     fire_wl = Array.make shards [];
     scratch = Array.init shards (fun _ -> Bitset.create ());
-    wl_len = 0;
-    wl_peak = 0;
+    wl_n = Array.make shards 0;
+    wl_peak = Array.make shards 0;
+    wl_pushes = Array.make shards 0;
     n_wl_iters = 0;
-    n_wl_pushes = 0;
     n_pts_adds = 0;
     n_fires = 0;
     n_collapsed = 0;
@@ -202,10 +211,16 @@ let schedule g n =
     g.on_wl.(n) <- true;
     let sh = g.shard.(n) in
     g.wl.(sh) <- n :: g.wl.(sh);
-    g.n_wl_pushes <- g.n_wl_pushes + 1;
-    g.wl_len <- g.wl_len + 1;
-    if g.wl_len > g.wl_peak then g.wl_peak <- g.wl_len
+    g.wl_pushes.(sh) <- g.wl_pushes.(sh) + 1;
+    let len = g.wl_n.(sh) + 1 in
+    g.wl_n.(sh) <- len;
+    if len > g.wl_peak.(sh) then g.wl_peak.(sh) <- len
   end
+
+(* Total pending work, summed from the per-shard lengths — accurate at any
+   serial point (shard boundaries included: each length is maintained by
+   its owning domain). *)
+let wl_total g = Array.fold_left ( + ) 0 g.wl_n
 
 let add_obj g n o =
   let n = find g n in
@@ -241,7 +256,7 @@ let drain g check sh =
     | n :: rest ->
         g.wl.(sh) <- rest;
         g.on_wl.(n) <- false;
-        g.wl_len <- g.wl_len - 1;
+        g.wl_n.(sh) <- g.wl_n.(sh) - 1;
         incr iters;
         (match check with Some f -> f (base + !iters) | None -> ());
         let lo, hi =
@@ -287,8 +302,11 @@ let propagate ?check ?pool g =
   let shards = g.n_shards in
   let iters = Array.make shards 0 and adds = Array.make shards 0 in
   let run_shards f =
+    (* re-evaluated every phase: barrier merges reschedule work, so later
+       phases of the same propagate call still go parallel when the merged
+       worklists are deep enough *)
     match pool with
-    | Some p when Pool.size p > 1 && g.wl_len >= 64 ->
+    | Some p when Pool.size p > 1 && wl_total g >= 64 ->
         (* the pool may be narrower than the shard count (workers are
            clamped to the hardware): workers claim whole shards through one
            atomic cursor, so each shard's state is still touched by exactly
@@ -336,7 +354,6 @@ let propagate ?check ?pool g =
     g.n_pts_adds <- g.n_pts_adds + Array.fold_left ( + ) 0 adds;
     Array.fill iters 0 shards 0;
     Array.fill adds 0 shards 0;
-    g.wl_len <- 0;
     continue_ := !any
   done
 
@@ -447,56 +464,86 @@ let collapse_sccs g =
       if find g v = v && index.(v) < 0 then strongconnect v
     done;
     (* union each component onto its minimum unwatched member *)
+    let reps = ref [] in
     List.iter
       (fun comp ->
         let eligible = List.filter (fun v -> not g.watched.(v)) comp in
         match List.sort compare eligible with
         | rep :: (_ :: _ as members) ->
+            (* Merge semantics: the merged node's successor list becomes
+               the union of the members' lists, but each member's [pts]
+               was only ever propagated along its own edges. Only objects
+               confirmed on EVERY member have traversed all of them, so
+               [pts rep] shrinks to the intersection; everything else —
+               facts some member never forwarded, plus deltas in flight
+               when the cycle closed — is re-delivered through
+               [delta rep] ([take_fresh]'s dedup keeps the re-delivery
+               idempotent). Anything less silently drops points-to
+               facts when a cycle is collapsed between an edge insertion
+               and its propagation. *)
+            let drep = materialize g g.delta rep in
+            ignore (Bitset.union_into ~into:drep g.pts.(rep));
             List.iter
               (fun m ->
                 g.uf.(m) <- rep;
-                ignore
-                  (Bitset.union_into ~into:(materialize g g.pts rep)
-                     g.pts.(m));
-                ignore
-                  (Bitset.union_into ~into:(materialize g g.delta rep)
-                     g.delta.(m));
+                ignore (Bitset.union_into ~into:drep g.pts.(m));
+                ignore (Bitset.union_into ~into:drep g.delta.(m));
+                g.succs.(rep) <- List.rev_append g.succs.(m) g.succs.(rep);
+                g.succs.(m) <- [];
                 incr merged)
               members;
-            (* rebuild the representative's successor list, deduplicated
-               through the new union-find state, self-loops dropped *)
-            let seen = Hashtbl.create 16 in
-            let out = ref [] in
             List.iter
-              (fun v ->
-                List.iter
-                  (fun d0 ->
-                    let d = find g d0 in
-                    if d <> rep && not (Hashtbl.mem seen d) then begin
-                      Hashtbl.add seen d ();
-                      out := d :: !out
-                    end)
-                  g.succs.(v))
-              (rep :: members);
-            List.iter (fun m -> g.succs.(m) <- []) members;
-            g.succs.(rep) <- !out
+              (fun m -> Bitset.inter_into ~into:g.pts.(rep) g.pts.(m))
+              members;
+            reps := rep :: !reps
         | _ -> ())
       !unions;
     if !merged > 0 then begin
-      (* remap worklists: members collapse onto their representative *)
-      for sh = 0 to g.n_shards - 1 do
-        let old = g.wl.(sh) in
-        g.wl.(sh) <- [];
-        List.iter
-          (fun v ->
-            g.on_wl.(v) <- false;
-            let r = find g v in
-            if (not (Bitset.is_empty g.delta.(r))) && not g.on_wl.(r) then begin
-              g.on_wl.(r) <- true;
-              g.wl.(g.shard.(r)) <- r :: g.wl.(g.shard.(r))
-            end)
-          old
+      (* canonicalize the copy graph under the new union-find state: every
+         live root's successor list is rebuilt through [find] (duplicates
+         and self-loops dropped) and re-registered in [edge_set] under its
+         canonical key, stale member-keyed entries discarded. Without
+         this, a later [add_copy] of an already-present canonical edge
+         misses the table and appends a duplicate successor, and
+         [n_edges] — which also drives the collapse cadence — drifts from
+         the live edge count. *)
+      EdgeTbl.reset g.edge_set;
+      for v = 0 to n - 1 do
+        if g.uf.(v) <> v then g.succs.(v) <- []
+        else
+          match g.succs.(v) with
+          | [] -> ()
+          | succs ->
+              let out = ref [] in
+              List.iter
+                (fun d0 ->
+                  let d = find g d0 in
+                  let k = edge_key v d in
+                  if d <> v && not (EdgeTbl.mem g.edge_set k) then begin
+                    EdgeTbl.add g.edge_set k ();
+                    out := d :: !out
+                  end)
+                succs;
+              g.succs.(v) <- !out
       done;
+      (* remap worklists: members collapse onto their representative, and
+         any representative whose merge parked candidates in its delta is
+         (re)scheduled so the next propagation delivers them *)
+      let old = Array.copy g.wl in
+      for sh = 0 to g.n_shards - 1 do
+        List.iter (fun v -> g.on_wl.(v) <- false) g.wl.(sh);
+        g.wl.(sh) <- [];
+        g.wl_n.(sh) <- 0
+      done;
+      Array.iter
+        (List.iter (fun v ->
+             let r = find g v in
+             if not (Bitset.is_empty g.delta.(r)) then schedule g r))
+        old;
+      List.iter
+        (fun rep ->
+          if not (Bitset.is_empty g.delta.(rep)) then schedule g rep)
+        !reps;
       g.n_collapsed <- g.n_collapsed + !merged
     end;
     !merged
@@ -512,8 +559,8 @@ let solve ?check g =
 let iter_nodes f g = NodeIntern.iter (fun id n -> f id n (pts g id)) g.nodes
 
 let n_worklist_iters g = g.n_wl_iters
-let n_worklist_pushes g = g.n_wl_pushes
-let worklist_peak g = g.wl_peak
+let n_worklist_pushes g = Array.fold_left ( + ) 0 g.wl_pushes
+let worklist_peak g = Array.fold_left ( + ) 0 g.wl_peak
 let n_pts_adds g = g.n_pts_adds
 let n_fires g = g.n_fires
 let n_collapsed g = g.n_collapsed

@@ -98,8 +98,9 @@ val node : t -> int -> node
 (** [n_nodes g] is the number of pointer nodes (the paper's #Pointer). *)
 val n_nodes : t -> int
 
-(** [n_edges g] is the number of copy edges ever inserted (the paper's
-    #Edge; cycle collapsing does not decrease it). *)
+(** [n_edges g] is the number of live canonical copy edges (the paper's
+    #Edge). {!collapse_sccs} rewrites edges onto representatives, merging
+    parallel edges and dropping self-loops, so the count can decrease. *)
 val n_edges : t -> int
 
 (** {2 The graph} *)
@@ -150,7 +151,13 @@ val flush_fires : t -> bool
 
 (** [collapse_sccs g] collapses copy-edge cycles onto one representative
     per strongly-connected component (watched nodes are never aliased);
-    returns the number of nodes merged. Serial phases only. *)
+    returns the number of nodes merged. The representative keeps as
+    confirmed only the objects every merged member had confirmed — the
+    rest, including deltas in flight when the cycle closed, are
+    re-delivered through its delta and the representative is rescheduled,
+    so no candidate is lost to the merge. Callers must follow a merging
+    collapse with {!propagate} (or {!solve}) before reading final sets.
+    Serial phases only. *)
 val collapse_sccs : t -> int
 
 (** [solve ?check g] is the serial convenience loop:
@@ -166,9 +173,12 @@ val iter_nodes : (int -> node -> O2_util.Bitset.t -> unit) -> t -> unit
 
     Always-on plain-integer counters (the increments cost nothing
     measurable); the solver flushes them into its {!O2_util.Metrics} sink
-    after the fixpoint. Under a multi-domain pool the scheduling counters
-    are approximate; the fact counters ([n_pts_adds], [n_pts_facts]) are
-    exact and shard-count independent. *)
+    after the fixpoint. Scheduling counters are kept in per-shard slots —
+    a shard only schedules and pops nodes it owns, so parallel drains
+    never race on them — and folded by the accessors; all counters are
+    exact and deterministic for a given shard count. The fact counters
+    ([n_pts_adds], [n_pts_facts]) are additionally shard-count
+    independent. *)
 
 (** [n_worklist_iters g] counts worklist items popped. *)
 val n_worklist_iters : t -> int
@@ -176,7 +186,9 @@ val n_worklist_iters : t -> int
 (** [n_worklist_pushes g] counts node schedulings. *)
 val n_worklist_pushes : t -> int
 
-(** [worklist_peak g] is the deepest any worklist got. *)
+(** [worklist_peak g] is the sum of the per-shard peak worklist depths —
+    an upper bound on the total work ever pending at once (exact with one
+    shard). *)
 val worklist_peak : t -> int
 
 (** [n_pts_adds g] counts committed points-to facts (the

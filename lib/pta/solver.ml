@@ -456,6 +456,10 @@ let field_id st f =
   | Some i -> i
   | None ->
       let i = Hashtbl.length st.field_ids in
+      (* the [fld_nodes] key packs the field id into 20 bits; overflowing
+         it would silently alias unrelated field nodes *)
+      if i lsr 20 <> 0 then
+        invalid_arg "Solver.field_id: over 2^20 distinct field names";
       Hashtbl.add st.field_ids f i;
       i
 

@@ -105,6 +105,15 @@ let copy_span src ~lo ~hi =
   if hi > lo then Array.blit src.words lo a lo (hi - lo);
   { words = a; top = max hi 0 }
 
+let inter_into ~into src =
+  let hi = top_word into in
+  let ns = Array.length src.words in
+  for w = 0 to hi - 1 do
+    let sw = if w < ns then src.words.(w) else 0 in
+    let old = into.words.(w) in
+    if old land lnot sw <> 0 then into.words.(w) <- old land sw
+  done
+
 let iter_word f w base =
   if w <> 0 then
     for b = 0 to word_bits - 1 do

@@ -156,6 +156,58 @@ let test_scc_watched_excluded () =
   Pag.solve g;
   check_int "watcher saw the object" 1 (List.length !fired)
 
+(* a cycle closed by a new edge and collapsed BEFORE that edge's delta
+   propagates: the merge must not mark in-flight candidates as confirmed,
+   or facts silently vanish downstream of the collapsed class *)
+let test_scc_collapse_inflight_delta () =
+  let g = Pag.create () in
+  let a = Pag.node_id g (nvar "a") in
+  let b = Pag.node_id g (nvar "b") in
+  let d = Pag.node_id g (nvar "d") in
+  Pag.add_copy g ~src:a ~dst:b;
+  Pag.add_copy g ~src:a ~dst:d;
+  let o = mkobj g 1 in
+  Pag.add_obj g b o;
+  Pag.solve g;
+  (* pts(b) = {o} is confirmed; a and d are empty *)
+  check_bool "d empty before the cycle closes" true
+    (O2_util.Bitset.is_empty (Pag.pts g d));
+  (* close the cycle: add_copy parks pts(b) in delta(a); collapse while
+     the delta is still in flight *)
+  Pag.add_copy g ~src:b ~dst:a;
+  check_int "one member aliased" 1 (Pag.collapse_sccs g);
+  Pag.solve g;
+  List.iter
+    (fun x ->
+      check_bool "o survives the collapse" true
+        (O2_util.Bitset.mem (Pag.pts g x) o))
+    [ a; b; d ]
+
+(* collapsing rewrites the edge table onto canonical keys: a later add_copy
+   of an edge the representative already carries must dedup, and n_edges
+   must track the live canonical count *)
+let test_scc_edges_canonicalized () =
+  let g = Pag.create () in
+  let a = Pag.node_id g (nvar "a") in
+  let b = Pag.node_id g (nvar "b") in
+  let c = Pag.node_id g (nvar "c") in
+  let d = Pag.node_id g (nvar "d") in
+  Pag.add_copy g ~src:a ~dst:b;
+  Pag.add_copy g ~src:b ~dst:c;
+  Pag.add_copy g ~src:c ~dst:a;
+  Pag.add_copy g ~src:b ~dst:d;
+  Pag.add_copy g ~src:c ~dst:d;
+  check_int "five edges before collapse" 5 (Pag.n_edges g);
+  check_int "two members aliased" 2 (Pag.collapse_sccs g);
+  (* the three cycle edges become self-loops and the two exits merge *)
+  check_int "one canonical edge after collapse" 1 (Pag.n_edges g);
+  Pag.add_copy g ~src:b ~dst:d;
+  check_int "canonical re-add dedups" 1 (Pag.n_edges g);
+  let o = mkobj g 1 in
+  Pag.add_obj g a o;
+  Pag.solve g;
+  check_bool "exit still reached" true (O2_util.Bitset.mem (Pag.pts g d) o)
+
 (* ---------------- difference-propagation primitive ---------------- *)
 
 let test_take_fresh () =
@@ -196,6 +248,10 @@ let () =
           Alcotest.test_case "copy cycle collapses" `Quick test_scc_collapse;
           Alcotest.test_case "watched nodes excluded" `Quick
             test_scc_watched_excluded;
+          Alcotest.test_case "in-flight delta survives collapse" `Quick
+            test_scc_collapse_inflight_delta;
+          Alcotest.test_case "edge table canonicalized" `Quick
+            test_scc_edges_canonicalized;
         ] );
       ( "delta",
         [ Alcotest.test_case "take_fresh dedups" `Quick test_take_fresh ] );
