@@ -354,9 +354,91 @@ let ablations () =
    fingerprint-equality bit. CI gates on these rows: counters must match
    the committed run exactly, facts_equal must hold, and the zookeeper
    speedup has a floor. *)
+(* stage:<name> rows: the flat-IR post-PTA stages (SHB build, race
+   detection, OSA scan) against the legacy AST tree-walkers kept as test
+   oracles, on the heaviest distributed workload. Each row carries the
+   stage medians for both paths, the speedup, the stage's deterministic
+   counters and a parity bit (byte-identical rendered reports and equal
+   counters). CI gates parity, exact counters and a speedup floor; the
+   committed run records the real flat-vs-legacy factor. *)
+let stage_rows () =
+  let p = O2_workloads.Synth.program (O2_workloads.Synth.find "zookeeper") in
+  let a = Solver.analyze ~policy:(Context.Korigin 1) p in
+  let legacy_shb =
+    median_time ~runs:5 (fun () -> ignore (O2_shb.Graph.build ~oracle:true a))
+  in
+  let flat_shb = median_time ~runs:5 (fun () -> ignore (O2_shb.Graph.build a)) in
+  let g_o = O2_shb.Graph.build ~oracle:true a in
+  let g_f = O2_shb.Graph.build a in
+  let legacy_race =
+    median_time ~runs:5 (fun () ->
+        ignore (O2_race.Detect.run ~oracle:true g_o))
+  in
+  let flat_race =
+    median_time ~runs:5 (fun () -> ignore (O2_race.Detect.run g_f))
+  in
+  let r_o = O2_race.Detect.run ~oracle:true g_o
+  and r_f = O2_race.Detect.run g_f in
+  let legacy_osa =
+    median_time ~runs:5 (fun () -> ignore (O2_osa.Osa.run ~oracle:true a))
+  in
+  let flat_osa = median_time ~runs:5 (fun () -> ignore (O2_osa.Osa.run a)) in
+  let osa_o = O2_osa.Osa.run ~oracle:true a and osa_f = O2_osa.Osa.run a in
+  let rep_o =
+    O2_race.Report.render
+      { O2_race.Report.solver = a; graph = g_o; report = r_o }
+  in
+  let rep_f =
+    O2_race.Report.render
+      { O2_race.Report.solver = a; graph = g_f; report = r_f }
+  in
+  let shb_nodes = Array.length (O2_shb.Graph.nodes g_f) in
+  let shb_parity =
+    Array.length (O2_shb.Graph.nodes g_o) = shb_nodes
+    && Array.length (O2_shb.Graph.accesses g_o)
+       = Array.length (O2_shb.Graph.accesses g_f)
+  in
+  let race_parity =
+    String.equal rep_o rep_f
+    && O2_race.Detect.n_races r_o = O2_race.Detect.n_races r_f
+    && r_o.O2_race.Detect.n_pairs_checked = r_f.O2_race.Detect.n_pairs_checked
+  in
+  let osa_parity =
+    O2_osa.Osa.n_shared_accesses osa_o = O2_osa.Osa.n_shared_accesses osa_f
+    && List.length (O2_osa.Osa.shared_locations osa_o)
+       = List.length (O2_osa.Osa.shared_locations osa_f)
+  in
+  let row name legacy flat parity extra =
+    pf "stage:%-8s legacy %.4fs  flat %.4fs  %.2fx  parity %s\n" name legacy
+      flat
+      (legacy /. max 1e-9 flat)
+      (if parity then "ok" else "BROKEN");
+    Printf.sprintf
+      {|{"bench":"stage:%s","policy":"O2","legacy_ms":%.3f,"flat_ms":%.3f,"speedup":%.2f,"parity":%b%s}|}
+      name (legacy *. 1e3) (flat *. 1e3)
+      (legacy /. max 1e-9 flat)
+      parity extra
+  in
+  [
+    row "shb" legacy_shb flat_shb shb_parity
+      (Printf.sprintf {|,"nodes":%d|} shb_nodes);
+    row "race" legacy_race flat_race race_parity
+      (Printf.sprintf {|,"races":%d,"pairs":%d|}
+         (O2_race.Detect.n_races r_f)
+         r_f.O2_race.Detect.n_pairs_checked);
+    row "osa" legacy_osa flat_osa osa_parity
+      (Printf.sprintf {|,"shared_accesses":%d|}
+         (O2_osa.Osa.n_shared_accesses osa_f));
+    row "combined"
+      (legacy_shb +. legacy_race +. legacy_osa)
+      (flat_shb +. flat_race +. flat_osa)
+      (shb_parity && race_parity && osa_parity)
+      "";
+  ]
+
 let trajectory ?(path = "BENCH_o2.json") () =
   rule "Trajectory — instrumented runs (BENCH_o2.json)";
-  let workloads = [ "lusearch"; "memcached"; "zookeeper"; "redis" ] in
+  let workloads = [ "lusearch"; "memcached"; "zookeeper"; "redis"; "cyclic" ] in
   let pta_runs =
     List.map
       (fun name ->
@@ -431,7 +513,7 @@ let trajectory ?(path = "BENCH_o2.json") () =
                 | `Timeout _ -> "timeout"))
             r.O2_batch.b_entries
   in
-  let runs = runs @ pta_runs @ corpus_runs in
+  let runs = runs @ pta_runs @ stage_rows () @ corpus_runs in
   let oc = open_out path in
   Printf.fprintf oc {|{"schema":"bench_o2/v1","runs":[%s]}|}
     (String.concat "," runs);

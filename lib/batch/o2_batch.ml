@@ -69,14 +69,29 @@ let enumerate paths =
 
 (* Marshal-based cache: {digest+config key -> finished entry payload}. A
    missing, corrupt or version-mismatched file degrades to an empty cache
-   (never an error: the cache is purely an optimization). *)
+   (never an error: the cache is purely an optimization). The magic string
+   is the FIRST component of the marshalled tuple: a version mismatch is
+   detected before any payload field is ever inspected, so old-format
+   entries can never be misread as the current shape. *)
 
-let cache_magic = "o2-batch-cache/v1"
+let cache_magic = "o2-batch-cache/v2"
 
+(* the aggregate's "key counters": the Table 6 shape of each file plus the
+   detection effort, enough to spot an outlier without rerunning --stats *)
+let key_counter_names =
+  [
+    "pta.pointers"; "pta.objects"; "pta.edges"; "pta.origins";
+    "pta.worklist_iters"; "shb.nodes"; "shb.edges"; "race.pairs_checked";
+    "o2.races"; "o2.origins";
+  ]
+
+(* v2 payload: counters stored as a dense int array in [key_counter_names]
+   order (the flat-IR storage discipline — no string keys past the
+   boundary); v1 stored an assoc list and fails the magic compare *)
 type cached = {
   c_races : int;
   c_report : string;
-  c_counters : (string * int) list;
+  c_counters : int array;
 }
 
 type cache_tbl = (string, cached) Hashtbl.t
@@ -112,15 +127,6 @@ let save_cache path (tbl : cache_tbl) =
 
 (* ---------------- per-file analysis under a fault boundary ---------------- *)
 
-(* the aggregate's "key counters": the Table 6 shape of each file plus the
-   detection effort, enough to spot an outlier without rerunning --stats *)
-let key_counter_names =
-  [
-    "pta.pointers"; "pta.objects"; "pta.edges"; "pta.origins";
-    "pta.worklist_iters"; "shb.nodes"; "shb.edges"; "race.pairs_checked";
-    "o2.races"; "o2.origins";
-  ]
-
 let digest_of file = try Digest.to_hex (Digest.file file) with _ -> ""
 
 let analyze_one cfg (cache : cache_tbl) file =
@@ -139,9 +145,16 @@ let analyze_one cfg (cache : cache_tbl) file =
       e_counters = [];
     }
   in
-  match
-    if digest = "" then None else Hashtbl.find_opt cache (cache_key cfg digest)
-  with
+  let hit =
+    if digest = "" then None
+    else
+      match Hashtbl.find_opt cache (cache_key cfg digest) with
+      | Some c when Array.length c.c_counters = List.length key_counter_names
+        ->
+          Some c
+      | _ -> None
+  in
+  match hit with
   | Some c ->
       {
         e_file = file;
@@ -151,7 +164,8 @@ let analyze_one cfg (cache : cache_tbl) file =
         e_elapsed = 0.0;
         e_cached = true;
         e_report = c.c_report;
-        e_counters = c.c_counters;
+        e_counters =
+          List.mapi (fun i k -> (k, c.c_counters.(i))) key_counter_names;
       }
   | None -> (
       try
@@ -272,7 +286,7 @@ let run cfg files =
                 {
                   c_races = e.e_races;
                   c_report = e.e_report;
-                  c_counters = e.e_counters;
+                  c_counters = Array.of_list (List.map snd e.e_counters);
                 }
           | _ -> ())
         entries;

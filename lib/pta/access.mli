@@ -17,6 +17,16 @@ val equal_target : target -> target -> bool
 (** [pp_target a ppf t] prints e.g. [Data@12.val] or [Settings::verbose]. *)
 val pp_target : Solver.result -> Format.formatter -> target -> unit
 
+(** [of_tid fl tid] decodes a flat-IR location id (see {!Flat.tid_field})
+    back to the structural target. Total on tids the flat pipeline emits. *)
+val of_tid : Flat.t -> int -> target
+
+(** [tid_of fl t] encodes a structural target as a flat-IR location id;
+    [None] only if [t] mentions a field or static the lowered program never
+    declares (impossible for targets produced by either pipeline). The
+    encoding is injective: [tid_of fl a = tid_of fl b] iff [a = b]. *)
+val tid_of : Flat.t -> target -> int option
+
 (** [of_stmt a m ctx s] is the access performed by statement [s] of method
     instance ⟨m, ctx⟩: the targets (one per abstract object the base may
     point to) and whether it is a write. [None] for non-access statements. *)

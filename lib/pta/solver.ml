@@ -72,6 +72,7 @@ type op =
 
 type tables = {
   t_program : Program.t;
+  t_flat : Flat.t;  (* dense lowering; describe reads only this *)
   t_policy : Context.policy;
   t_pag : Pag.t;
   reach_tbl : (meth_key, reach_info) Hashtbl.t;
@@ -103,8 +104,26 @@ type tables = {
   mutable pending : task list;  (* bodies reached since the last round *)
 }
 
+(* Instance call graph: the solved, context-sensitive call graph re-keyed
+   on dense ints. Each reachable (method, context) instance gets an
+   instance id; per-instance arrays carry the solved points-to set of
+   every variable slot and the callee instances of every call site. The
+   flat SHB/OSA walkers traverse instances with nothing but array probes
+   and one int-keyed table lookup per call site — no structural context
+   hashing survives past the solve. *)
+type icg = {
+  ic_n : int;  (* instance count *)
+  ic_mid : int array;  (* iid -> flat method id *)
+  ic_pts : Bitset.t array array;  (* iid -> slot -> solved points-to *)
+  ic_callees : (int, int array) Hashtbl.t;
+      (* iid * ic_nsids + call sid -> callee iids, in [callees] order *)
+  ic_entry : int array;  (* sp_id -> entry instance *)
+  ic_nsids : int;
+}
+
 type result = {
   program : Program.t;
+  flat : Flat.t;
   policy : Context.policy;
   jobs : int;
   pag : Pag.t;
@@ -112,6 +131,7 @@ type result = {
   joins : join list;
   stats : Metrics.t;
   tables : tables;
+  icg : icg;
 }
 
 (* -- serial-phase helpers ----------------------------------------------- *)
@@ -361,80 +381,158 @@ let a_new st ~site ~ctx ~info ~xnode ~c ~arg_nodes =
 
 (* -- describe ----------------------------------------------------------- *)
 
-(* [describe st task] renders one method body into its op batch. It reads
-   only frozen state — the program, the policy and the [has_named] index —
-   and mutates nothing, so the pool can describe a round's tasks
-   concurrently; node-key hashing happens here, off the serial path. *)
+(* [describe st task] renders one method body into its op batch by a linear
+   scan of the body's flat opcode stream — no AST, no string hashing: name
+   resolution (static targets, the §4.3 external-call bit, in-loop flags)
+   was baked in by {!Flat.lower}. Instructions sit in AST DFS order with
+   block bodies inlined, so the op sequence is exactly the legacy
+   tree-walk's. Reads only frozen state and mutates nothing, so the pool
+   can describe a round's tasks concurrently; node-key hashing happens
+   here, off the serial path. *)
 let describe_into st task ~emit =
-  let p = st.t_program in
+  let fl = st.t_flat in
   let policy = st.t_policy in
   let m = task.tk_meth in
   let ctx = task.tk_ctx in
+  let mi = Flat.meth fl (Flat.mid_of_meth fl m) in
+  let code = mi.Flat.f_code in
   let mk key = { nd_hash = Pag.node_hash key; nd_key = key; nd_id = -1 } in
-  (* one shared [nd] per variable of the body: the key is hashed once here
-     and interned once at the first resolve, however many statements use it *)
-  let var_memo = Hashtbl.create 16 in
-  let dvar v =
-    match Hashtbl.find_opt var_memo v with
+  (* one shared [nd] per variable slot of the body: the key is hashed once
+     here and interned once at the first resolve, however many statements
+     use it *)
+  let var_memo = Array.make mi.Flat.f_nslots None in
+  let dvar slot =
+    match var_memo.(slot) with
     | Some nd -> nd
     | None ->
         let nd =
-          mk (Pag.NVar (m.Program.m_class, m.Program.m_name, v, ctx))
+          mk
+            (Pag.NVar
+               ( m.Program.m_class,
+                 m.Program.m_name,
+                 mi.Flat.f_slot_name.(slot),
+                 ctx ))
         in
-        Hashtbl.add var_memo v nd;
+        var_memo.(slot) <- Some nd;
         nd
   in
+  let dargs at nargs = List.init nargs (fun k -> dvar code.(at + k)) in
+  let dopt slot = if slot < 0 then None else Some (dvar slot) in
   let dret () = mk (Pag.NRet (m.Program.m_class, m.Program.m_name, ctx)) in
-  let dstatic c f = mk (Pag.NStatic (c, f)) in
-  let mkey = (m.Program.m_class, m.Program.m_name, ctx) in
-  let rec stmt (s : Ast.stmt) =
-    let site = s.Ast.sid in
-    match s.Ast.sk with
-    | Ast.Null _ | Ast.Return None | Ast.Signal _ | Ast.Wait _ -> ()
-    | Ast.Join x ->
-        emit
-          (OJoin { jn_site = site; jn_meth = m; jn_ctx = ctx; jn_var = x })
-    | Ast.Assign (x, y) -> emit (OCopy (dvar y, dvar x))
-    | Ast.New (x, c, args) ->
-        emit (ONew (site, dvar x, c, List.map dvar args, mkey))
-    | Ast.FieldWrite (x, f, y) -> emit (OFieldW (dvar x, dvar y, f))
-    | Ast.FieldRead (x, y, f) -> emit (OFieldR (dvar y, dvar x, f))
-    | Ast.ArrayWrite (x, y) -> emit (OFieldW (dvar x, dvar y, "*"))
-    | Ast.ArrayRead (x, y) -> emit (OFieldR (dvar y, dvar x, "*"))
-    | Ast.StaticWrite (c, f, y) -> emit (OCopy (dvar y, dstatic c f))
-    | Ast.StaticRead (x, c, f) -> emit (OCopy (dstatic c f, dvar x))
-    | Ast.Call (ret, y, mname, args) ->
-        (* §4.3: a call to a function whose body does not exist anywhere in
-           the program is external; its result is an anonymous object so
-           downstream accesses are still analyzed *)
-        if not (Hashtbl.mem st.has_named mname) then
-          Option.iter
-            (fun r -> emit (OExtern (dvar r, site, heap_ctx policy ctx)))
-            ret;
-        emit
-          (OCallV
-             (dvar y, site, ctx, mname, List.map dvar args, Option.map dvar ret))
-    | Ast.StaticCall (ret, c, mname, args) -> (
-        match Program.static_method p c mname with
-        | None -> ()
-        | Some target ->
-            emit
-              (OCallS
-                 (site, ctx, target, List.map dvar args, Option.map dvar ret)))
-    | Ast.Start x ->
-        emit (OStart (dvar x, site, ctx, Program.stmt_in_loop p site))
-    | Ast.Post (x, args) ->
-        emit
-          (OPost (dvar x, site, ctx, List.map dvar args,
-                  Program.stmt_in_loop p site))
-    | Ast.Sync (_, body) -> List.iter stmt body
-    | Ast.If (a, b) ->
-        List.iter stmt a;
-        List.iter stmt b
-    | Ast.While body -> List.iter stmt body
-    | Ast.Return (Some v) -> emit (OCopy (dvar v, dret ()))
+  let dstatic slot =
+    mk
+      (Pag.NStatic
+         ( Flat.class_name fl (Flat.static_cid fl slot),
+           Flat.field_name fl (Flat.static_fid fl slot) ))
   in
-  List.iter stmt m.Program.m_body
+  let star = Flat.field_name fl fl.Flat.f_star in
+  let mkey = (m.Program.m_class, m.Program.m_name, ctx) in
+  let n = Array.length code in
+  let i = ref 0 in
+  while !i < n do
+    let op = code.(!i) and j = !i in
+    let site = code.(j + 1) in
+    if op = Flat.op_null then i := j + 2
+    else if op = Flat.op_assign then begin
+      emit (OCopy (dvar code.(j + 3), dvar code.(j + 2)));
+      i := j + 4
+    end
+    else if op = Flat.op_new then begin
+      let nargs = code.(j + 4) in
+      emit
+        (ONew
+           ( site,
+             dvar code.(j + 2),
+             Flat.class_name fl code.(j + 3),
+             dargs (j + 5) nargs,
+             mkey ));
+      i := j + 5 + nargs
+    end
+    else if op = Flat.op_fwrite then begin
+      emit
+        (OFieldW
+           (dvar code.(j + 2), dvar code.(j + 4), Flat.field_name fl code.(j + 3)));
+      i := j + 5
+    end
+    else if op = Flat.op_fread then begin
+      emit
+        (OFieldR
+           (dvar code.(j + 3), dvar code.(j + 2), Flat.field_name fl code.(j + 4)));
+      i := j + 5
+    end
+    else if op = Flat.op_awrite then begin
+      emit (OFieldW (dvar code.(j + 2), dvar code.(j + 3), star));
+      i := j + 4
+    end
+    else if op = Flat.op_aread then begin
+      emit (OFieldR (dvar code.(j + 3), dvar code.(j + 2), star));
+      i := j + 4
+    end
+    else if op = Flat.op_swrite then begin
+      emit (OCopy (dvar code.(j + 3), dstatic code.(j + 2)));
+      i := j + 4
+    end
+    else if op = Flat.op_sread then begin
+      emit (OCopy (dstatic code.(j + 3), dvar code.(j + 2)));
+      i := j + 4
+    end
+    else if op = Flat.op_callv then begin
+      let ret = code.(j + 2) and nargs = code.(j + 6) in
+      (* §4.3: the external bit marks calls whose name no program method
+         bears; their result is an anonymous object so downstream accesses
+         are still analyzed *)
+      if code.(j + 5) = 1 && ret >= 0 then
+        emit (OExtern (dvar ret, site, heap_ctx policy ctx));
+      emit
+        (OCallV
+           ( dvar code.(j + 3),
+             site,
+             ctx,
+             Flat.name_str fl code.(j + 4),
+             dargs (j + 7) nargs,
+             dopt ret ));
+      i := j + 7 + nargs
+    end
+    else if op = Flat.op_calls then begin
+      let nargs = code.(j + 4) in
+      (if code.(j + 3) >= 0 then
+         let target = (Flat.meth fl code.(j + 3)).Flat.f_meth in
+         emit
+           (OCallS (site, ctx, target, dargs (j + 5) nargs, dopt code.(j + 2))));
+      i := j + 5 + nargs
+    end
+    else if op = Flat.op_start then begin
+      emit (OStart (dvar code.(j + 2), site, ctx, code.(j + 3) = 1));
+      i := j + 4
+    end
+    else if op = Flat.op_join then begin
+      emit
+        (OJoin
+           {
+             jn_site = site;
+             jn_meth = m;
+             jn_ctx = ctx;
+             jn_var = mi.Flat.f_slot_name.(code.(j + 2));
+           });
+      i := j + 3
+    end
+    else if op = Flat.op_signal || op = Flat.op_wait then i := j + 3
+    else if op = Flat.op_post then begin
+      let nargs = code.(j + 4) in
+      emit
+        (OPost
+           (dvar code.(j + 2), site, ctx, dargs (j + 5) nargs, code.(j + 3) = 1));
+      i := j + 5 + nargs
+    end
+    else if op = Flat.op_sync then i := j + 4 (* body inlined; keep scanning *)
+    else if op = Flat.op_if then i := j + 4
+    else if op = Flat.op_while then i := j + 3
+    else if op = Flat.op_return then begin
+      if code.(j + 2) >= 0 then emit (OCopy (dvar code.(j + 2), dret ()));
+      i := j + 3
+    end
+    else assert false
+  done
 
 let describe st task =
   let ops = ref [] in
@@ -568,6 +666,99 @@ let shard_of_node (n : Pag.node) =
   | Pag.NField (oid, _) -> oid
   | Pag.NStatic (c, f) -> Hashtbl.hash (c, f)
 
+(* -- instance call graph ------------------------------------------------ *)
+
+(* One DFS from the spawn entries over the solved call edges, interning
+   (mid, ctx) instances and resolving every slot's points-to set up front.
+   Unsolved slots share one (read-only) empty set — the same answer the
+   walkers used to get from interning the node lazily. *)
+let build_icg fl pag
+    (call_edges :
+      (int * Context.t, (Program.meth * Context.t) list ref) Hashtbl.t)
+    (spawns : spawn array) =
+  let empty_pts = Bitset.create () in
+  let nsids = Array.length fl.Flat.f_pos in
+  let intern : (int * Context.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let mids = ref [] and ptss = ref [] and count = ref 0 in
+  let callees_tbl : (int, int array) Hashtbl.t = Hashtbl.create 256 in
+  let rec visit (mt : Program.meth) ctx =
+    let mid = Flat.mid_of_meth fl mt in
+    let key = (mid, ctx) in
+    match Hashtbl.find_opt intern key with
+    | Some iid -> iid
+    | None ->
+        let iid = !count in
+        incr count;
+        Hashtbl.add intern key iid;
+        let mi = fl.Flat.f_meths.(mid) in
+        let pts =
+          Array.init mi.Flat.f_nslots (fun s ->
+              let n =
+                Pag.NVar
+                  ( mt.Program.m_class,
+                    mt.Program.m_name,
+                    mi.Flat.f_slot_name.(s),
+                    ctx )
+              in
+              let id = Pag.find_node_hashed pag ~hash:(Pag.node_hash n) n in
+              if id < 0 then empty_pts else Pag.pts pag id)
+        in
+        mids := mid :: !mids;
+        ptss := pts :: !ptss;
+        let code = mi.Flat.f_code in
+        let len = Array.length code in
+        let i = ref 0 in
+        while !i < len do
+          let j = !i in
+          let op = code.(j) in
+          let step =
+            if op = Flat.op_null then 2
+            else if op = Flat.op_assign then 4
+            else if op = Flat.op_return then 3
+            else if op = Flat.op_new then 5 + code.(j + 4)
+            else if op = Flat.op_callv then 7 + code.(j + 6)
+            else if op = Flat.op_calls then 5 + code.(j + 4)
+            else if op = Flat.op_fwrite || op = Flat.op_fread then 5
+            else if
+              op = Flat.op_awrite || op = Flat.op_aread
+              || op = Flat.op_swrite || op = Flat.op_sread
+            then 4
+            else if op = Flat.op_sync || op = Flat.op_if || op = Flat.op_start
+            then 4
+            else if op = Flat.op_post then 5 + code.(j + 4)
+            else if
+              op = Flat.op_while || op = Flat.op_join || op = Flat.op_signal
+              || op = Flat.op_wait
+            then 3
+            else assert false
+          in
+          (if op = Flat.op_new || op = Flat.op_callv || op = Flat.op_calls
+           then
+             let sid = code.(j + 1) in
+             match Hashtbl.find_opt call_edges (sid, ctx) with
+             | Some l ->
+                 let arr =
+                   Array.of_list
+                     (List.map (fun (cm, cctx) -> visit cm cctx) !l)
+                 in
+                 Hashtbl.replace callees_tbl ((iid * nsids) + sid) arr
+             | None -> ());
+          i := j + step
+        done;
+        iid
+  in
+  let entries =
+    Array.map (fun sp -> visit sp.sp_entry sp.sp_ectx) spawns
+  in
+  {
+    ic_n = !count;
+    ic_mid = Array.of_list (List.rev !mids);
+    ic_pts = Array.of_list (List.rev !ptss);
+    ic_callees = callees_tbl;
+    ic_entry = entries;
+    ic_nsids = nsids;
+  }
+
 (* -- the round loop ----------------------------------------------------- *)
 
 let analyze ?(policy = Context.Korigin 1) ?(jobs = 1) ?metrics ?budget program
@@ -582,9 +773,11 @@ let analyze ?(policy = Context.Korigin 1) ?(jobs = 1) ?metrics ?budget program
     | Some b -> Some (fun steps -> Budget.check b ~steps)
   in
   let pag = Pag.create ~shards:jobs ~shard_of:shard_of_node () in
+  let fl = Metrics.time m "pta.lower" (fun () -> Flat.lower program) in
   let st =
     {
       t_program = program;
+      t_flat = fl;
       t_policy = policy;
       t_pag = pag;
       reach_tbl = Hashtbl.create 256;
@@ -717,8 +910,13 @@ let analyze ?(policy = Context.Korigin 1) ?(jobs = 1) ?metrics ?budget program
     (match policy with
     | Context.Korigin _ -> max 0 (OriginIntern.count st.origin_reg - 1)
     | _ -> max 0 (Array.length spawn_arr - 1));
+  let icg =
+    Metrics.time m "pta.icg" (fun () ->
+        build_icg fl pag st.call_edges spawn_arr)
+  in
   {
     program;
+    flat = fl;
     policy;
     jobs;
     pag;
@@ -726,6 +924,7 @@ let analyze ?(policy = Context.Korigin 1) ?(jobs = 1) ?metrics ?budget program
     joins = st.join_list;
     stats = m;
     tables = st;
+    icg;
   }
 
 (* -- queries over a result ---------------------------------------------- *)

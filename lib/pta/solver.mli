@@ -64,11 +64,32 @@ type join = {
     registry). Query them through the functions below. *)
 type tables
 
+(** The instance call graph: the solved context-sensitive call graph
+    re-keyed on dense ints, built once per solve. Each reachable
+    (method, context) instance carries an instance id ([iid]); the arrays
+    give the flat method id, the solved points-to set of every variable
+    slot, and (via [ic_callees], keyed [iid * ic_nsids + sid]) the callee
+    instances of every call site, in {!callees} order. The flat SHB/OSA
+    walkers traverse this with array probes and one int-keyed lookup per
+    call site — no structural context hashing past the solve. *)
+type icg = {
+  ic_n : int;  (** instance count *)
+  ic_mid : int array;  (** iid -> flat method id *)
+  ic_pts : O2_util.Bitset.t array array;
+      (** iid -> slot -> solved points-to (shared read-only empty set for
+          slots the solve never interned) *)
+  ic_callees : (int, int array) Hashtbl.t;
+      (** [iid * ic_nsids + call sid] -> callee iids *)
+  ic_entry : int array;  (** spawn id -> entry instance *)
+  ic_nsids : int;  (** exclusive sid bound used by the packing *)
+}
+
 (** What a solve produces. The commonly consumed facts are plain fields;
     table-backed queries ({!pts_var}, {!callees}, {!origins}, …) take the
     whole record. *)
 type result = {
   program : Program.t;
+  flat : Flat.t;  (** the dense lowering the describe phase ran over *)
   policy : Context.policy;
   jobs : int;  (** shard / domain count the solve ran with *)
   pag : Pag.t;  (** the solved pointer-assignment graph *)
@@ -78,6 +99,7 @@ type result = {
       (** the metrics sink the run recorded into — the one passed to
           {!analyze}, or a private one created when none was *)
   tables : tables;
+  icg : icg;  (** the dense instance call graph (["pta.icg"] span) *)
 }
 
 (** [analyze ?policy ?jobs ?metrics ?budget p] runs the whole-program

@@ -65,9 +65,7 @@ let run g =
     let la = lockset_elems a and lb = lockset_elems b in
     not (List.exists (fun l -> List.mem l lb) la)
   in
-  let groups : (Access.target, Graph.node list ref) Hashtbl.t =
-    Hashtbl.create 256
-  in
+  let groups : (int, Graph.node list ref) Hashtbl.t = Hashtbl.create 256 in
   Array.iter
     (fun (n : Graph.node) ->
       match n.Graph.n_kind with
@@ -83,7 +81,8 @@ let run g =
   let n_pairs = ref 0 and n_hb = ref 0 and n_lock = ref 0 in
   let races = ref [] in
   Hashtbl.iter
-    (fun target group ->
+    (fun tid group ->
+      let target = Graph.target_of g tid in
       let ns = Array.of_list !group in
       let len = Array.length ns in
       for i = 0 to len - 1 do

@@ -14,8 +14,10 @@ let node_label g (n : Graph.node) =
   let a = Graph.solver g in
   Format.asprintf "#%d %s" n.Graph.n_id
     (match n.Graph.n_kind with
-    | Graph.Read t -> Format.asprintf "rd %a" (Access.pp_target a) t
-    | Graph.Write t -> Format.asprintf "wr %a" (Access.pp_target a) t
+    | Graph.Read t ->
+        Format.asprintf "rd %a" (Access.pp_target a) (Graph.target_of g t)
+    | Graph.Write t ->
+        Format.asprintf "wr %a" (Access.pp_target a) (Graph.target_of g t)
     | Graph.Acq l -> Printf.sprintf "lock o%d" l
     | Graph.Rel l -> Printf.sprintf "unlock o%d" l
     | Graph.SpawnTo s -> Printf.sprintf "spawn O%d" s

@@ -1,9 +1,13 @@
 open O2_ir
 open O2_pta
 
+(* Access nodes carry the flat-IR location id (tid, see {!Flat.tid_field})
+   of the location they touch — an int, not a structural target, so the
+   race engine's grouping and class keys stay in integer land. Decode with
+   {!target_of} at the reporting boundary. *)
 type node_kind =
-  | Read of Access.target
-  | Write of Access.target
+  | Read of int
+  | Write of int
   | Acq of int
   | Rel of int
   | SpawnTo of int
@@ -50,6 +54,7 @@ type t = {
 }
 
 let solver g = g.solver
+let target_of g tid = Access.of_tid g.solver.Solver.flat tid
 let locks g = g.locks
 let accesses g = g.accesses_arr
 let nodes g = g.nodes_arr
@@ -63,8 +68,11 @@ let sem_edges g = g.sems_e
 (* construction *)
 
 type region_state = {
-  mutable seen : (int * Access.target * bool) list;
-      (* (lockset, target, is_write) already represented in this region *)
+  mutable seen : int list;
+      (* packed (lockset, tid, is_write) keys already represented in this
+         region; packing is injective (see [build_origin_flat]), so the int
+         keys dedup exactly the structural (lockset, target, is_write)
+         triples the seed's walker deduped *)
 }
 
 let emit g ~origin ~sid ~pos ~kind ~lockset =
@@ -81,14 +89,23 @@ let emit g ~origin ~sid ~pos ~kind ~lockset =
   g.all_nodes <- n :: g.all_nodes;
   n
 
-let build_origin g (sp : Solver.spawn) spawn_index =
+(* Legacy AST walker, retained as the test oracle for the flat walker
+   below ([build ~oracle:true]). Behaviour is the seed's, except access
+   nodes carry the encoded tid of their structural target (injective, so
+   region dedup and all downstream grouping are unchanged). *)
+let build_origin_ast g (sp : Solver.spawn) spawn_index =
   let a = g.solver in
+  let fl = a.Solver.flat in
   let origin = sp.Solver.sp_id in
   let base_ls =
     if g.serial_events && sp.Solver.sp_kind = `Event then
       Lockset.id g.locks [ Lockset.dispatcher_lock ]
     else Lockset.empty g.locks
   in
+  let tid_bound =
+    Flat.n_statics fl + (Pag.n_objs a.Solver.pag * Flat.n_fields fl) + 1
+  in
+  let pack ls tid w = (((ls * tid_bound) + tid) * 2) + if w then 1 else 0 in
   let visited = Hashtbl.create 64 in
   let region = { seen = [] } in
   let reset_region () = region.seen <- [] in
@@ -108,14 +125,18 @@ let build_origin g (sp : Solver.spawn) spawn_index =
     ignore (m, ctx);
     List.iter
       (fun target ->
-        let dup =
-          g.lock_region && List.mem (ls, target, is_write) region.seen
+        let tid =
+          match Access.tid_of fl target with
+          | Some tid -> tid
+          | None -> assert false (* targets come from lowered statements *)
         in
+        let k = pack ls tid is_write in
+        let dup = g.lock_region && List.mem k region.seen in
         if not dup then begin
-          if g.lock_region then region.seen <- (ls, target, is_write) :: region.seen;
+          if g.lock_region then region.seen <- k :: region.seen;
           ignore
             (emit g ~origin ~sid:s.Ast.sid ~pos:s.Ast.pos
-               ~kind:(if is_write then Write target else Read target)
+               ~kind:(if is_write then Write tid else Read tid)
                ~lockset:ls)
         end)
       targets
@@ -218,6 +239,226 @@ let build_origin g (sp : Solver.spawn) spawn_index =
   in
   visit sp.Solver.sp_entry sp.Solver.sp_ectx base_ls
 
+(* The default walker: a scan of the flat opcode streams. Statements
+   appear in AST DFS order with block bodies inlined, so only [Sync] — the
+   one construct with scoped state (lockset + region reset/restore, Table 4
+   ⑯) — needs its block length; [If]/[While] headers are skipped and their
+   bodies picked up by the linear scan, exactly like the legacy
+   recursion. Variable points-to sets come from a (mid, ctx) → slot node
+   cache instead of re-hashing structural [NVar] keys per use; the first
+   probe interns exactly the node the legacy [pts_var] would, so the PAG
+   sees the same population either way. *)
+let build_origin_flat g (icg : Solver.icg) stamp (sp : Solver.spawn)
+    spawn_index =
+  let a = g.solver in
+  let fl = a.Solver.flat in
+  let origin = sp.Solver.sp_id in
+  let base_ls =
+    if g.serial_events && sp.Solver.sp_kind = `Event then
+      Lockset.id g.locks [ Lockset.dispatcher_lock ]
+    else Lockset.empty g.locks
+  in
+  (* region-dedup keys are packed into one int: tid < tid_bound always, and
+     a lockset id is a small dense int, so (ls * tid_bound + tid) * 2 + w is
+     injective — List.mem then compares unboxed ints, no tuple allocation *)
+  let tid_bound =
+    Flat.n_statics fl + (Pag.n_objs a.Solver.pag * Flat.n_fields fl) + 1
+  in
+  let pack ls tid w = (((ls * tid_bound) + tid) * 2) + if w then 1 else 0 in
+  (* the region set itself is generation-stamped: membership means "bound
+     to the CURRENT generation", so a reset is one int bump instead of a
+     list drop, and probes are O(1) instead of a [List.mem] scan. [Sync]
+     scopes shadow with [Hashtbl.add] and unwind their own trail on exit,
+     re-exposing the outer region's bindings — exactly the legacy
+     save/reset/restore list discipline. *)
+  let rtbl : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let cur_gen = ref 0 and next_gen = ref 1 in
+  let trail = ref [] in
+  let reset_region () =
+    cur_gen := !next_gen;
+    incr next_gen
+  in
+  let region_mem k =
+    match Hashtbl.find_opt rtbl k with
+    | Some gen -> gen = !cur_gen
+    | None -> false
+  in
+  let region_add k =
+    Hashtbl.add rtbl k !cur_gen;
+    trail := k :: !trail
+  in
+  (* visited set over instance ids: one shared stamp array, stamped with
+     the spawn id — no per-spawn allocation, no structural hashing *)
+  let rec visit iid ls =
+    if stamp.(iid) <> origin then begin
+      stamp.(iid) <- origin;
+      let mi = fl.Flat.f_meths.(icg.Solver.ic_mid.(iid)) in
+      walk iid mi icg.Solver.ic_pts.(iid) ls 0 (Array.length mi.Flat.f_code)
+    end
+  and follow_calls iid ls site =
+    match
+      Hashtbl.find_opt icg.Solver.ic_callees
+        ((iid * icg.Solver.ic_nsids) + site)
+    with
+    | Some arr -> Array.iter (fun ci -> visit ci ls) arr
+    | None -> ()
+  and emit_access ls sid tids is_write =
+    let pos = Flat.pos_of_sid fl sid in
+    List.iter
+      (fun tid ->
+        let k = pack ls tid is_write in
+        let dup = g.lock_region && region_mem k in
+        if not dup then begin
+          if g.lock_region then region_add k;
+          ignore
+            (emit g ~origin ~sid ~pos
+               ~kind:(if is_write then Write tid else Read tid)
+               ~lockset:ls)
+        end)
+      tids
+  and field_tids (pts : O2_util.Bitset.t array) base fid =
+    (* cons under an ascending fold: descending-oid order, the legacy
+       [Access.base_targets] emission order *)
+    O2_util.Bitset.fold
+      (fun oid acc -> Flat.tid_field fl ~oid ~fid :: acc)
+      pts.(base) []
+  and walk iid (mi : Flat.meth_info) (pts : O2_util.Bitset.t array) ls lo hi =
+    let code = mi.Flat.f_code in
+    let i = ref lo in
+    while !i < hi do
+      let j = !i in
+      let op = code.(j) in
+      let sid = code.(j + 1) in
+      if op = Flat.op_null || op = Flat.op_assign || op = Flat.op_return then
+        i := j + (if op = Flat.op_null then 2 else if op = Flat.op_assign then 4 else 3)
+      else if op = Flat.op_new then begin
+        (* Table 4 ⑮: the call node with HB edges to/from the callee body
+           is represented by inlining the callee's trace at the call site *)
+        follow_calls iid ls sid;
+        i := j + 5 + code.(j + 4)
+      end
+      else if op = Flat.op_callv then begin
+        follow_calls iid ls sid;
+        i := j + 7 + code.(j + 6)
+      end
+      else if op = Flat.op_calls then begin
+        follow_calls iid ls sid;
+        i := j + 5 + code.(j + 4)
+      end
+      else if op = Flat.op_fwrite then begin
+        emit_access ls sid (field_tids pts code.(j + 2) code.(j + 3)) true;
+        i := j + 5
+      end
+      else if op = Flat.op_fread then begin
+        emit_access ls sid (field_tids pts code.(j + 3) code.(j + 4)) false;
+        i := j + 5
+      end
+      else if op = Flat.op_awrite then begin
+        emit_access ls sid (field_tids pts code.(j + 2) fl.Flat.f_star) true;
+        i := j + 4
+      end
+      else if op = Flat.op_aread then begin
+        emit_access ls sid (field_tids pts code.(j + 3) fl.Flat.f_star) false;
+        i := j + 4
+      end
+      else if op = Flat.op_swrite then begin
+        emit_access ls sid [ Flat.tid_static fl code.(j + 2) ] true;
+        i := j + 4
+      end
+      else if op = Flat.op_sread then begin
+        emit_access ls sid [ Flat.tid_static fl code.(j + 3) ] false;
+        i := j + 4
+      end
+      else if op = Flat.op_sync then begin
+        (* Table 4 ⑯: lock/unlock nodes. A lock var counts as a must-lock
+           only when it points to a single abstract object. *)
+        let blen = code.(j + 3) in
+        let lpts = pts.(code.(j + 2)) in
+        let pos = Flat.pos_of_sid fl sid in
+        let singleton =
+          match O2_util.Bitset.elements lpts with [ o ] -> Some o | _ -> None
+        in
+        let ls' =
+          match singleton with
+          | Some o ->
+              ignore (emit g ~origin ~sid ~pos ~kind:(Acq o) ~lockset:ls);
+              Lockset.acquire g.locks ls o
+          | None -> ls
+        in
+        let saved_trail = !trail and saved_gen = !cur_gen in
+        trail := [];
+        reset_region ();
+        walk iid mi pts ls' (j + 4) (j + 4 + blen);
+        (match singleton with
+        | Some o -> ignore (emit g ~origin ~sid ~pos ~kind:(Rel o) ~lockset:ls)
+        | None -> ());
+        List.iter (Hashtbl.remove rtbl) !trail;
+        trail := saved_trail;
+        cur_gen := saved_gen;
+        i := j + 4 + blen
+      end
+      else if op = Flat.op_if then i := j + 4 (* bodies inline; keep scanning *)
+      else if op = Flat.op_while then i := j + 3
+      else if op = Flat.op_start || op = Flat.op_post then begin
+        (* Table 4 ⑰: entry(𝕆ᵢ,𝕆ⱼ) ⇒ origin_first(𝕆ⱼ) *)
+        let spts = pts.(code.(j + 2)) in
+        let pos = Flat.pos_of_sid fl sid in
+        (match Hashtbl.find_opt spawn_index sid with
+        | Some l ->
+            List.iter
+              (fun (sp' : Solver.spawn) ->
+                if O2_util.Bitset.mem spts sp'.Solver.sp_obj then begin
+                  let n =
+                    emit g ~origin ~sid ~pos ~kind:(SpawnTo sp'.Solver.sp_id)
+                      ~lockset:ls
+                  in
+                  g.spawns_e <- (origin, sp'.Solver.sp_id, n.n_id) :: g.spawns_e;
+                  (* the HB position changed: accesses after this point are
+                     no longer equivalent to accesses before it *)
+                  reset_region ()
+                end)
+              l
+        | None -> ());
+        i := j + (if op = Flat.op_start then 4 else 5 + code.(j + 4))
+      end
+      else if op = Flat.op_join then begin
+        (* Table 4 ⑱: origin_last(𝕆ⱼ) ⇒ join(𝕆ⱼ,𝕆ᵢ). A join is a must-join
+           only when the variable points to a single thread object. *)
+        let jpts = pts.(code.(j + 2)) in
+        let pos = Flat.pos_of_sid fl sid in
+        (match O2_util.Bitset.elements jpts with
+        | [ oid ] ->
+            Array.iter
+              (fun (sp' : Solver.spawn) ->
+                if sp'.Solver.sp_obj = oid && sp'.Solver.sp_kind = `Thread
+                then begin
+                  let n =
+                    emit g ~origin ~sid ~pos ~kind:(JoinOf sp'.Solver.sp_id)
+                      ~lockset:ls
+                  in
+                  g.joins_e <- (sp'.Solver.sp_id, origin, n.n_id) :: g.joins_e;
+                  reset_region ()
+                end)
+              a.Solver.spawns
+        | _ -> ());
+        i := j + 3
+      end
+      else if op = Flat.op_signal || op = Flat.op_wait then begin
+        let wpts = pts.(code.(j + 2)) in
+        let pos = Flat.pos_of_sid fl sid in
+        let kind o = if op = Flat.op_signal then SemSignal o else SemWait o in
+        O2_util.Bitset.iter
+          (fun o ->
+            ignore (emit g ~origin ~sid ~pos ~kind:(kind o) ~lockset:ls);
+            reset_region ())
+          wpts;
+        i := j + 3
+      end
+      else assert false
+    done
+  in
+  visit icg.Solver.ic_entry.(sp.Solver.sp_id) base_ls
+
 (* ------------------------------------------------------------------ *)
 (* origin-level HB closure *)
 
@@ -319,6 +560,15 @@ let build_hb_closure g =
             let p = if i < Array.length t then t.(i) else max_int in
             reach_from o p))
 
+(* Exclusive upper bounds of the two [hb_interval] components over all
+   origins — the race engine packs (t, q) into its int class keys with
+   these. *)
+let interval_bounds g =
+  let tb = ref 1 and qb = ref 1 in
+  Array.iter (fun a -> tb := max !tb (Array.length a + 1)) g.hb_thresholds;
+  Array.iter (fun a -> qb := max !qb (Array.length a + 1)) g.hb_inpos;
+  (!tb, !qb)
+
 let hb_interval g (node : node) =
   (* q counts entry positions ≤ the node id: a join/wait node is ordered
      after its own incoming edge, so its own position must be included *)
@@ -352,7 +602,7 @@ let hb_closure_entries g =
         acc per_state)
     0 g.hb_closure
 
-let build_graph ~serial_events ~lock_region a =
+let build_graph ~serial_events ~lock_region ~oracle a =
   let sps = a.Solver.spawns in
   let p = a.Solver.program in
   let self_par =
@@ -406,7 +656,12 @@ let build_graph ~serial_events ~lock_region a =
         in
         Hashtbl.replace spawn_index sp.Solver.sp_site (sp :: l))
     sps;
-  Array.iter (fun sp -> build_origin g sp spawn_index) sps;
+  (if oracle then Array.iter (fun sp -> build_origin_ast g sp spawn_index) sps
+   else begin
+     let icg = a.Solver.icg in
+     let stamp = Array.make (max 1 icg.Solver.ic_n) (-1) in
+     Array.iter (fun sp -> build_origin_flat g icg stamp sp spawn_index) sps
+   end);
   (* transitive self-parallelism (non-origin policies): a child spawned by
      a self-parallel origin has as many run-time instances as its parent —
      under the origin policy the parent copies get distinct child origins
@@ -467,13 +722,14 @@ let build_graph ~serial_events ~lock_region a =
   build_hb_closure g;
   g
 
-let build ?(serial_events = true) ?(lock_region = true) ?metrics a =
+let build ?(serial_events = true) ?(lock_region = true) ?(oracle = false)
+    ?metrics a =
   match metrics with
-  | None -> build_graph ~serial_events ~lock_region a
+  | None -> build_graph ~serial_events ~lock_region ~oracle a
   | Some m ->
       let g =
         O2_util.Metrics.span m "shb.build" (fun () ->
-            build_graph ~serial_events ~lock_region a)
+            build_graph ~serial_events ~lock_region ~oracle a)
       in
       let open O2_util in
       Metrics.set m "shb.nodes" (Array.length g.nodes_arr);
@@ -550,8 +806,10 @@ let hb g (a : node) (b : node) =
 (* ------------------------------------------------------------------ *)
 
 let pp_kind g ppf = function
-  | Read t -> Format.fprintf ppf "read %a" (Access.pp_target g.solver) t
-  | Write t -> Format.fprintf ppf "write %a" (Access.pp_target g.solver) t
+  | Read t ->
+      Format.fprintf ppf "read %a" (Access.pp_target g.solver) (target_of g t)
+  | Write t ->
+      Format.fprintf ppf "write %a" (Access.pp_target g.solver) (target_of g t)
   | Acq o -> Format.fprintf ppf "lock o%d" o
   | Rel o -> Format.fprintf ppf "unlock o%d" o
   | SpawnTo s -> Format.fprintf ppf "spawn O%d" s

@@ -18,8 +18,8 @@ open O2_ir
 open O2_pta
 
 type node_kind =
-  | Read of Access.target
-  | Write of Access.target
+  | Read of int  (** flat-IR location id (tid); decode with {!target_of} *)
+  | Write of int
   | Acq of int  (** lock object id *)
   | Rel of int
   | SpawnTo of int  (** spawn id of the started/posted origin *)
@@ -38,13 +38,18 @@ type node = {
 
 type t
 
-(** [build a] constructs the SHB graph from a solved analysis.
+(** [build a] constructs the SHB graph from a solved analysis by scanning
+    the flat opcode streams of [a.flat].
 
     @param serial_events model the single dispatcher thread of §4.2: every
     event-handler origin implicitly holds {!Lockset.dispatcher_lock}
     (default [true]).
     @param lock_region enable lock-region access merging (default [true];
     the ablation benchmark disables it).
+    @param oracle use the legacy AST tree-walk instead of the flat scan
+    (default [false]). Kept only as the certification oracle: the two
+    walkers must produce identical graphs, and the property tests compare
+    full pipeline output across them.
     @param metrics observability sink: construction runs inside an
     ["shb.build"] span and records [shb.nodes], [shb.access_nodes],
     [shb.edges] (spawn + join + semaphore), [shb.locksets] and
@@ -52,11 +57,17 @@ type t
 val build :
   ?serial_events:bool ->
   ?lock_region:bool ->
+  ?oracle:bool ->
   ?metrics:O2_util.Metrics.t ->
   Solver.result ->
   t
 
 val solver : t -> Solver.result
+
+(** [target_of g tid] decodes an access node's location id back to the
+    structural target (reporting boundary only). *)
+val target_of : t -> int -> Access.target
+
 val locks : t -> Lockset.t
 
 (** [accesses g] lists all read/write access nodes, id-ascending. *)
@@ -106,6 +117,11 @@ val hb_bfs : t -> node -> node -> bool
     with equal intervals have identical inter-origin HB behaviour — the key
     fact behind equivalence-class race checking. *)
 val hb_interval : t -> node -> int * int
+
+(** [interval_bounds g] is [(tb, qb)]: exclusive upper bounds of the two
+    {!hb_interval} components over all origins, used by the race engine to
+    pack intervals into int class keys. *)
+val interval_bounds : t -> int * int
 
 (** [hb_state g ~src ~t_idx ~dst ~q_idx] is the interval-level form of
     {!hb}: for [src ≠ dst] it equals [hb g a b] for every node [a] of

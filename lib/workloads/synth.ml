@@ -16,6 +16,7 @@ type spec = {
   s_pool : bool;
   s_nested : bool;
   s_wrapper : bool;
+  s_cyclic : int;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     s_pool = false;
     s_nested = false;
     s_wrapper = false;
+    s_cyclic = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -234,12 +236,24 @@ let program spec =
           [ new_ "t" "Worker0" [ "s"; "l"; "h" ]; start "t"; ret None ];
       ]
   in
+  (* copy-cycle rings: 8 locals per ring assigned cyclically, so the PAG
+     gains [8 * s_cyclic] copy edges all lying on variable cycles — enough
+     rings cross the solver's SCC cadence threshold and make
+     [pta.scc_collapsed] non-zero on a committed bench row *)
+  let cyclic_rings =
+    List.concat
+      (List.init spec.s_cyclic (fun i ->
+           let v j = Printf.sprintf "cy%d_%d" i (j mod 8) in
+           new_ (v 0) "Data" []
+           :: List.init 8 (fun j -> assign (v (j + 1)) (v j))))
+  in
   let main_body =
     [
       new_ "s" "SharedState" [];
       new_ "l" "Lk" [];
       new_ "h" "Hlp0" [];
     ]
+    @ cyclic_rings
     @ List.concat
         (List.init spec.s_thread_classes (fun i ->
              let cname = Printf.sprintf "Worker%d" i in
@@ -283,7 +297,7 @@ let program spec =
 
 let mk name ?(tc = 2) ?(inst = 1) ?(ev = 1) ?(depth = 4) ?(fan = 2) ?(allo = 2)
     ?(ld = 2) ?(lh = 1) ?(locked = 2) ?(racy = 2) ?priv ?(pool = false)
-    ?(nested = false) ?(wrapper = false) () =
+    ?(nested = false) ?(wrapper = false) ?(cyclic = 0) () =
   let priv = match priv with Some p -> p | None -> ld in
   {
     s_name = name;
@@ -301,6 +315,7 @@ let mk name ?(tc = 2) ?(inst = 1) ?(ev = 1) ?(depth = 4) ?(fan = 2) ?(allo = 2)
     s_pool = pool;
     s_nested = nested;
     s_wrapper = wrapper;
+    s_cyclic = cyclic;
   }
 
 (* Dacapo-shaped: few origins (#O 3–9), deep library call chains, lots of
@@ -385,7 +400,12 @@ let capps =
       ~locked:8 ~racy:2 ();
   ]
 
-let all_specs = dacapo @ android @ distributed @ capps
+(* Solver-stress shapes outside the paper's benchmark sets. [cyclic] seeds
+   copy-cycle rings so the SCC collapse path is exercised (and gated) on a
+   committed bench row, not only in unit tests. *)
+let stress = [ mk "cyclic" ~tc:2 ~inst:1 ~ev:1 ~ld:4 ~racy:2 ~cyclic:160 () ]
+
+let all_specs = dacapo @ android @ distributed @ capps @ stress
 
 let find name =
   match List.find_opt (fun s -> s.s_name = name) all_specs with

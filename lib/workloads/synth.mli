@@ -43,6 +43,9 @@ type spec = {
   s_pool : bool;  (** start thread instances in a loop *)
   s_nested : bool;  (** first thread class spawns a child thread *)
   s_wrapper : bool;  (** threads created through a shared wrapper *)
+  s_cyclic : int;
+      (** copy-cycle rings in main (8 cyclic assignments each) — stresses
+          the solver's SCC collapse of variable cycles *)
 }
 
 val default : spec
@@ -65,6 +68,10 @@ val distributed : spec list
 
 val capps : spec list
 (** Memcached, Redis, Sqlite3-shaped C programs (Table 6). *)
+
+val stress : spec list
+(** Solver-stress shapes outside the paper's sets; ["cyclic"] seeds enough
+    copy-cycle rings that the PTA's SCC collapse fires on a bench row. *)
 
 val find : string -> spec
 

@@ -218,6 +218,38 @@ let test_cache_rerun () =
   check_bool "corrupt cache ignored" true
     (List.for_all (fun e -> not e.O2_batch.e_cached) r5.O2_batch.b_entries)
 
+(* an old-format cache file (v1 magic, assoc-list counter payloads) must be
+   invalidated wholesale: no Marshal decode crash, everything re-analyzed,
+   and the rerun then hits under the current version *)
+let test_cache_version_bump () =
+  let dir = fresh_dir () in
+  ignore (write_file dir "clean.cir" clean_src);
+  ignore (write_file dir "racy.cir" racy_src);
+  let cache = Filename.concat dir "results.cache" in
+  (* forge a v1 file: same outer (magic, table) tuple, older payload shape *)
+  let v1_tbl : (string, int * string * (string * int) list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  Hashtbl.add v1_tbl "deadbeef|origin1|true|true|auto|text"
+    (7, "stale report", [ ("pta.pointers", 3); ("o2.races", 7) ]);
+  let oc = open_out_bin cache in
+  Marshal.to_channel oc ("o2-batch-cache/v1", v1_tbl) [];
+  close_out oc;
+  let cfg = { O2_batch.default with O2_batch.cache_file = Some cache } in
+  let files =
+    match O2_batch.enumerate [ dir ] with Ok f -> f | Error e -> Alcotest.fail e
+  in
+  let r1 = O2_batch.run cfg files in
+  check_bool "v1 cache invalidated, all recomputed" true
+    (List.for_all (fun e -> not e.O2_batch.e_cached) r1.O2_batch.b_entries);
+  check_bool "no stale results leaked" true
+    (List.for_all
+       (fun e -> e.O2_batch.e_status = `Ok && e.O2_batch.e_report <> "stale report")
+       r1.O2_batch.b_entries);
+  let r2 = O2_batch.run cfg files in
+  check_bool "rewritten cache hits under current version" true
+    (List.for_all (fun e -> e.O2_batch.e_cached) r2.O2_batch.b_entries)
+
 (* ---------------- jobs>1 determinism ---------------- *)
 
 let entry_key (e : O2_batch.entry) =
@@ -295,7 +327,12 @@ let () =
           Alcotest.test_case "matches serial analyze" `Quick
             test_byte_identical_reports;
         ] );
-      ("cache", [ Alcotest.test_case "rerun hits" `Quick test_cache_rerun ]);
+      ( "cache",
+        [
+          Alcotest.test_case "rerun hits" `Quick test_cache_rerun;
+          Alcotest.test_case "version bump invalidates" `Quick
+            test_cache_version_bump;
+        ] );
       ( "determinism",
         [ Alcotest.test_case "jobs>1 aggregate" `Quick test_jobs_determinism ] );
       ("render", [ Alcotest.test_case "json + text" `Quick test_render ]);

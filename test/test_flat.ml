@@ -1,0 +1,149 @@
+(* Flat-IR parity: the integer-indexed fast path is the ONLY default path
+   through SHB construction, race detection and the OSA scan — the legacy
+   AST walkers survive behind [~oracle:true] purely as test oracles. This
+   suite pins the contract: byte-identical rendered reports and equal
+   gated counters between the two paths, across every bundled model ×
+   context policy × jobs, plus a QCheck sweep over random programs and
+   unit coverage for the lowering invariants themselves. *)
+
+open O2_pta
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* [O2_TEST_JOBS="1,2,8"] widens the matrix, e.g. on a many-core machine *)
+let jobs_list =
+  match Sys.getenv_opt "O2_TEST_JOBS" with
+  | Some s ->
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map int_of_string
+  | None -> [ 1; 2; 4 ]
+
+let policies =
+  [ Context.Insensitive; Context.Kcfa 2; Context.Kobj 2; Context.Korigin 1 ]
+
+(* the post-PTA counters both paths set; PTA itself is shared, so the
+   pta.* entries of {!O2_batch.key_counter_names} cannot diverge *)
+let gated_counters =
+  [
+    "shb.nodes"; "shb.edges"; "race.pairs_checked"; "race.hb_pruned";
+    "race.lock_pruned"; "race.class_pruned"; "race.candidates"; "race.races";
+    "osa.stmts_scanned"; "osa.accesses"; "osa.locations";
+    "osa.shared_locations";
+  ]
+
+(* one post-PTA pipeline over a shared solve: SHB build, detection, OSA
+   scan, report rendering — flat by default, legacy walkers under
+   [oracle] *)
+let pipeline ?(jobs = 1) ~oracle a =
+  let m = O2_util.Metrics.create () in
+  let g = O2_shb.Graph.build ~oracle ~metrics:m a in
+  let r = O2_race.Detect.run ~metrics:m ~jobs ~oracle g in
+  let osa = O2_osa.Osa.run ~oracle ~metrics:m a in
+  let res = { O2_race.Report.solver = a; graph = g; report = r } in
+  let text = O2_race.Report.render res in
+  let json = O2_race.Report.render ~format:`Json res in
+  let counters = List.map (fun k -> (k, O2_util.Metrics.get m k)) gated_counters in
+  (text, json, counters, osa)
+
+let check_parity label a jobs =
+  let t_o, j_o, c_o, osa_o = pipeline ~oracle:true a in
+  let t_f, j_f, c_f, osa_f = pipeline ~jobs ~oracle:false a in
+  check_str (label ^ " text") t_o t_f;
+  check_str (label ^ " json") j_o j_f;
+  List.iter2
+    (fun (k, vo) (_, vf) -> check_int (label ^ " " ^ k) vo vf)
+    c_o c_f;
+  check_int
+    (label ^ " shared_accesses")
+    (O2_osa.Osa.n_shared_accesses osa_o)
+    (O2_osa.Osa.n_shared_accesses osa_f)
+
+(* ---------------- flat ≡ oracle across the model corpus ---------------- *)
+
+let test_models_parity () =
+  List.iter
+    (fun (m : O2_workloads.Models.model) ->
+      List.iter
+        (fun policy ->
+          let a = Solver.analyze ~policy (m.program ()) in
+          check_parity
+            (Printf.sprintf "%s/%s" m.name (Context.policy_name policy))
+            a 1)
+        policies)
+    O2_workloads.Models.all
+
+(* the jobs axis on the heaviest distributed workload: the flat detection
+   path fanned across domains must still match the serial oracle *)
+let test_zookeeper_jobs_parity () =
+  let p = O2_workloads.Synth.program (O2_workloads.Synth.find "zookeeper") in
+  let a = Solver.analyze ~policy:(Context.Korigin 1) p in
+  List.iter
+    (fun jobs -> check_parity (Printf.sprintf "zookeeper/jobs=%d" jobs) a jobs)
+    jobs_list
+
+(* ---------------- random programs ---------------- *)
+
+let prop_flat_parity =
+  QCheck2.Test.make ~name:"flat pipeline = legacy oracles" ~count:40
+    ~print:O2_test_helpers.Gen.print_spec O2_test_helpers.Gen.spec_gen
+    (fun spec ->
+      let p = O2_test_helpers.Gen.program_of_spec spec in
+      let a = Solver.analyze ~policy:(Context.Korigin 1) p in
+      let t_o, j_o, c_o, _ = pipeline ~oracle:true a in
+      let t_f, j_f, c_f, _ = pipeline ~oracle:false a in
+      String.equal t_o t_f && String.equal j_o j_f && c_o = c_f)
+
+(* ---------------- lowering invariants ---------------- *)
+
+let test_flat_check () =
+  List.iter
+    (fun (m : O2_workloads.Models.model) ->
+      let a = Solver.analyze (m.program ()) in
+      let fl = a.Solver.flat in
+      O2_ir.Flat.check fl;
+      Alcotest.(check bool)
+        (m.name ^ " footprint")
+        true
+        (O2_ir.Flat.footprint fl > 0))
+    O2_workloads.Models.all
+
+let test_tid_roundtrip () =
+  let p = O2_workloads.Synth.program (O2_workloads.Synth.find "zookeeper") in
+  let a = Solver.analyze p in
+  let fl = a.Solver.flat in
+  let n_objs = Pag.n_objs a.Solver.pag in
+  (* instance-field tids: oid/fid survive the mixed-radix round trip and
+     never collide with the static range *)
+  for oid = 0 to min 40 (n_objs - 1) do
+    for fid = 0 to O2_ir.Flat.n_fields fl - 1 do
+      let tid = O2_ir.Flat.tid_field fl ~oid ~fid in
+      Alcotest.(check bool) "field tid dynamic" false
+        (O2_ir.Flat.tid_is_static fl tid);
+      check_int "tid_oid" oid (O2_ir.Flat.tid_oid fl tid);
+      check_int "tid_fid" fid (O2_ir.Flat.tid_fid fl tid)
+    done
+  done;
+  for s = 0 to O2_ir.Flat.n_statics fl - 1 do
+    let tid = O2_ir.Flat.tid_static fl s in
+    Alcotest.(check bool) "static tid static" true
+      (O2_ir.Flat.tid_is_static fl tid)
+  done
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "models x policies" `Quick test_models_parity;
+          Alcotest.test_case "zookeeper x jobs" `Quick
+            test_zookeeper_jobs_parity;
+          QCheck_alcotest.to_alcotest prop_flat_parity;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "Flat.check on corpus" `Quick test_flat_check;
+          Alcotest.test_case "tid round trip" `Quick test_tid_roundtrip;
+        ] );
+    ]

@@ -97,6 +97,12 @@ let simple_locked () =
         ];
     ]
 
+(* access-node kinds carry int location ids now; decode for field checks *)
+let is_field g t f =
+  match Graph.target_of g t with
+  | Access.Tfield (_, x) -> x = f
+  | Access.Tstatic _ -> false
+
 let kinds g =
   Array.to_list (Graph.nodes g) |> List.map (fun n -> n.Graph.n_kind)
 
@@ -137,7 +143,7 @@ let test_lockset_on_access () =
     List.filter
       (fun (n : Graph.node) ->
         match n.Graph.n_kind with
-        | Graph.Write (Access.Tfield (_, "v")) ->
+        | Graph.Write t when is_field g t "v" ->
             Lockset.elements locks n.Graph.n_lockset <> []
         | _ -> false)
       writes
@@ -147,7 +153,7 @@ let test_lockset_on_access () =
     List.filter
       (fun (n : Graph.node) ->
         match n.Graph.n_kind with
-        | Graph.Read (Access.Tfield (_, "v")) ->
+        | Graph.Read t when is_field g t "v" ->
             Lockset.elements locks n.Graph.n_lockset = []
         | _ -> false)
       reads
@@ -189,8 +195,8 @@ let find_access g ~write ~field =
   Array.to_list (Graph.accesses g)
   |> List.find (fun (n : Graph.node) ->
          match n.Graph.n_kind with
-         | Graph.Write (Access.Tfield (_, f)) -> write && f = field
-         | Graph.Read (Access.Tfield (_, f)) -> (not write) && f = field
+         | Graph.Write t -> write && is_field g t field
+         | Graph.Read t -> (not write) && is_field g t field
          | _ -> false)
 
 let test_hb_intra_origin () =
@@ -368,7 +374,7 @@ let test_dispatcher_lock () =
     Array.to_list (Graph.accesses g)
     |> List.filter (fun (n : Graph.node) ->
            match n.Graph.n_kind with
-           | Graph.Write (Access.Tfield (_, "v")) -> true
+           | Graph.Write t -> is_field g t "v"
            | _ -> false)
   in
   let _, g = build ~serial_events:true (event_prog ()) in
