@@ -438,7 +438,9 @@ let stage_rows () =
 
 let trajectory ?(path = "BENCH_o2.json") () =
   rule "Trajectory — instrumented runs (BENCH_o2.json)";
-  let workloads = [ "lusearch"; "memcached"; "zookeeper"; "redis"; "cyclic" ] in
+  let workloads =
+    [ "lusearch"; "memcached"; "zookeeper"; "redis"; "cyclic"; "chainstorm" ]
+  in
   let pta_runs =
     List.map
       (fun name ->
@@ -513,7 +515,33 @@ let trajectory ?(path = "BENCH_o2.json") () =
                 | `Timeout _ -> "timeout"))
             r.O2_batch.b_entries
   in
-  let runs = runs @ pta_runs @ stage_rows () @ corpus_runs in
+  let fuzz_runs =
+    (* scaled-generator row: a fixed (seed, count) slice of the fuzz
+       corpus is a deterministic workload, so its aggregate race total
+       gates generator and engine drift the same way the named workloads
+       do. No wall budget — only the deterministic step ceiling — so the
+       row is machine-independent. *)
+    let gates =
+      { O2_fuzz.Fuzz.default_gates with O2_fuzz.Fuzz.g_wall = None }
+    in
+    let r = O2_fuzz.Fuzz.sweep ~gates ~seed:7 ~count:12 () in
+    let ok, timeouts, divergent = O2_fuzz.Fuzz.counts r in
+    let races =
+      List.fold_left
+        (fun a (e : O2_fuzz.Fuzz.entry) -> a + e.O2_fuzz.Fuzz.f_races)
+        0 r.O2_fuzz.Fuzz.r_entries
+    in
+    pf "%-12s %3d races  %.3fs (%d programs, %d ok, %d divergent)\n"
+      "fuzz:sweep" races r.O2_fuzz.Fuzz.r_elapsed r.O2_fuzz.Fuzz.r_count ok
+      divergent;
+    [
+      Printf.sprintf
+        {|{"bench":"fuzz:sweep","policy":"O2-diff","elapsed":%.6f,"programs":%d,"ok":%d,"timeouts":%d,"divergent":%d,"races":%d}|}
+        r.O2_fuzz.Fuzz.r_elapsed r.O2_fuzz.Fuzz.r_count ok timeouts divergent
+        races;
+    ]
+  in
+  let runs = runs @ pta_runs @ stage_rows () @ corpus_runs @ fuzz_runs in
   let oc = open_out path in
   Printf.fprintf oc {|{"schema":"bench_o2/v1","runs":[%s]}|}
     (String.concat "," runs);

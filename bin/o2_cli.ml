@@ -16,6 +16,8 @@
    o2 run FILE.cir [--seed N] [--dynamic] [--trace]
    o2 explore FILE.cir           systematic schedule DFS (+ POR)
    o2 dump FILE.cir              parse + pretty-print
+   o2 fuzz [--seed N] [--count N] [--jobs N]
+                                 differential fuzzing across all engines
    o2 model [NAME] [--fixed]     built-in Table 10 race models            *)
 
 open Cmdliner
@@ -478,23 +480,59 @@ let origins_cmd =
 (* ---- diff ---- *)
 
 let diff_cmd =
+  (* plain strings, not [Arg.file]: a missing path must flow through the
+     per-side fault boundary below (one stderr line, exit 1), not
+     cmdliner's usage error *)
   let old_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old version")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc:"Old version")
   in
   let new_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New version")
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"New version")
+  in
+  (* each side gets its own fault boundary, batch-style: a broken version
+     becomes a structured error entry plus one stderr line instead of
+     aborting the whole comparison *)
+  let side name file policy =
+    match O2_race.Diff.keys ~policy (load file) with
+    | ks -> Ok ks
+    | exception O2_frontend.Parser.Parse_error (msg, line) ->
+        Error (Printf.sprintf "%s %s: parse error at line %d: %s" name file line msg)
+    | exception O2_frontend.Lexer.Lex_error (msg, line) ->
+        Error
+          (Printf.sprintf "%s %s: lexical error at line %d: %s" name file line msg)
+    | exception O2_ir.Program.Ill_formed msg ->
+        Error (Printf.sprintf "%s %s: ill-formed program: %s" name file msg)
+    | exception O2_ir.Harness.No_activity msg ->
+        Error (Printf.sprintf "%s %s: harness error: %s" name file msg)
+    | exception Sys_error msg -> Error (Printf.sprintf "%s %s: %s" name file msg)
+    | exception e ->
+        Error
+          (Printf.sprintf "%s %s: analyzer failure: %s" name file
+             (Printexc.to_string e))
   in
   let run old_f new_f policy =
-    handle_errors @@ fun () ->
-    let d = O2_race.Diff.diff ~policy (load old_f) (load new_f) in
-    Format.printf "%a@." O2_race.Diff.pp d;
-    if d.O2_race.Diff.introduced <> [] then exit 2
+    match (side "old" old_f policy, side "new" new_f policy) with
+    | Ok old_keys, Ok new_keys ->
+        let d = O2_race.Diff.align old_keys new_keys in
+        Format.printf "%a@." O2_race.Diff.pp d;
+        if d.O2_race.Diff.introduced <> [] then exit 2
+    | a, b ->
+        (match a with Ok _ -> () | Error msg -> Printf.eprintf "error: %s\n" msg);
+        (match b with Ok _ -> () | Error msg -> Printf.eprintf "error: %s\n" msg);
+        exit 1
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
          "Compare the race reports of two program versions (exit 2 when \
-          races were introduced)")
+          races were introduced)"
+       ~man:
+         [
+           `S "EXIT STATUS";
+           `P "0 when both versions analyzed and no race was introduced;";
+           `P "1 when either version failed to parse or analyze;";
+           `P "2 when the comparison succeeded but races were introduced.";
+         ])
     Term.(const run $ old_arg $ new_arg $ policy_arg)
 
 (* ---- android ---- *)
@@ -638,6 +676,114 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Parse, resolve and pretty-print a CIR program")
     Term.(const run $ file_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Corpus seed. Program $(i,i) of a run is generated \
+             deterministically from (seed, $(i,i)), independent of \
+             $(b,--jobs).")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let jobs =
+    Arg.(
+      value & opt jobs_conv 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Check up to $(docv) programs concurrently on worker domains. \
+             Results are deterministic for any $(docv).")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) (Some 60.0)
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-program wall-clock budget (default 60); an exceeded budget \
+             is a $(b,timeout) entry, not a divergence.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt (some int) (Some 20_000_000)
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Per-program pointer-analysis worklist step ceiling.")
+  in
+  let out =
+    Arg.(
+      value & opt string "fuzz-out"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for minimized $(b,.cir) reproducers.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the sweep report as JSON (o2_fuzz/v1).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Write reproducers from the original specs without shrinking.")
+  in
+  let run seed count jobs policy deadline max_steps out json no_shrink =
+    let gates =
+      {
+        O2_fuzz.Fuzz.default_gates with
+        O2_fuzz.Fuzz.g_policy = Some policy;
+        g_wall = deadline;
+        g_max_steps = max_steps;
+      }
+    in
+    let r = O2_fuzz.Fuzz.sweep ~jobs ~gates ~seed ~count () in
+    let divergent = O2_fuzz.Fuzz.divergent r in
+    List.iter
+      (fun (e : O2_fuzz.Fuzz.entry) ->
+        let e =
+          if no_shrink then e
+          else
+            let classes = O2_fuzz.Fuzz.divergence_classes e.f_status in
+            let spec = O2_fuzz.Fuzz.shrink ~gates ~classes e.f_spec in
+            { e with O2_fuzz.Fuzz.f_spec = spec }
+        in
+        let path = O2_fuzz.Fuzz.write_reproducer ~dir:out ~seed:r.r_seed e in
+        Printf.eprintf "o2 fuzz: divergence at index %d, reproducer %s\n"
+          e.O2_fuzz.Fuzz.f_index path)
+      divergent;
+    print_string
+      (O2_fuzz.Fuzz.render ~format:(if json then `Json else `Text) r);
+    exit (O2_fuzz.Fuzz.exit_code r)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate CIR programs and cross-check every \
+          detection engine"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates $(b,--count) programs from the QCheck shape space \
+              and drives each through the agreement-class differential \
+              harness: flat-IR vs tree-walking oracle parity, naive = \
+              optimized race sites, lock-region merge containment, the \
+              RacerD must-race subset and dynamic-witness containment, \
+              plus a printer/parser round trip. Any divergence is shrunk \
+              to a minimized $(b,.cir) reproducer under $(b,--out).";
+           `S "EXIT STATUS";
+           `P "0 when every program agreed (timeouts are reported but OK);";
+           `P "1 when at least one divergence was found.";
+         ])
+    Term.(
+      const run $ seed $ count $ jobs $ policy_arg $ deadline $ max_steps
+      $ out $ json $ no_shrink)
+
 (* ---- model ---- *)
 
 let model_cmd =
@@ -683,5 +829,6 @@ let () =
           [
             analyze_cmd; batch_cmd; osa_cmd; shb_cmd; racerd_cmd;
             deadlock_cmd; oversync_cmd; pts_cmd; dot_cmd; origins_cmd;
-            diff_cmd; android_cmd; run_cmd; explore_cmd; dump_cmd; model_cmd;
+            diff_cmd; android_cmd; run_cmd; explore_cmd; dump_cmd; fuzz_cmd;
+            model_cmd;
           ]))

@@ -74,7 +74,7 @@ let enumerate paths =
    detected before any payload field is ever inspected, so old-format
    entries can never be misread as the current shape. *)
 
-let cache_magic = "o2-batch-cache/v2"
+let cache_magic = "o2-batch-cache/v3"
 
 (* the aggregate's "key counters": the Table 6 shape of each file plus the
    detection effort, enough to spot an outlier without rerunning --stats *)
@@ -85,10 +85,17 @@ let key_counter_names =
     "o2.races"; "o2.origins";
   ]
 
-(* v2 payload: counters stored as a dense int array in [key_counter_names]
+(* v3 payload: counters stored as a dense int array in [key_counter_names]
    order (the flat-IR storage discipline — no string keys past the
-   boundary); v1 stored an assoc list and fails the magic compare *)
+   boundary; v1 stored an assoc list) plus an explicit status. v2 stored
+   only terminal `Ok results, but also stored nothing else — a `Wall or
+   `Steps exhaustion was silently re-analyzed every run, and worse, an
+   early buggy revision could serve one as terminal. v3 makes the
+   distinction structural: timeouts are cached under a budget-qualified
+   key (below), so a rerun with the same budget is served instantly while
+   any budget change misses and re-analyzes. *)
 type cached = {
+  c_status : [ `Ok | `Timeout of string ];
   c_races : int;
   c_report : string;
   c_counters : int array;
@@ -102,6 +109,14 @@ let cache_key cfg digest =
     cfg.serial_events cfg.lock_region
     (O2_frontend.Parser.entry_name cfg.entry)
     (match cfg.format with `Text -> "text" | `Json -> "json")
+
+(* a timeout is a property of (file, config, budget), not of the file:
+   the budget signature keys it so `--deadline 60` after a `--deadline 5`
+   timeout re-analyzes instead of replaying the stale exhaustion *)
+let timeout_key cfg digest =
+  Printf.sprintf "%s|timeout|w=%s|s=%s" (cache_key cfg digest)
+    (match cfg.wall with None -> "-" | Some w -> Printf.sprintf "%g" w)
+    (match cfg.max_steps with None -> "-" | Some n -> string_of_int n)
 
 let load_cache = function
   | None -> (Hashtbl.create 0 : cache_tbl)
@@ -149,23 +164,32 @@ let analyze_one cfg (cache : cache_tbl) file =
     if digest = "" then None
     else
       match Hashtbl.find_opt cache (cache_key cfg digest) with
-      | Some c when Array.length c.c_counters = List.length key_counter_names
-        ->
+      | Some ({ c_status = `Ok; _ } as c)
+        when Array.length c.c_counters = List.length key_counter_names ->
           Some c
-      | _ -> None
+      | _ -> (
+          (* no terminal result: a timeout under this exact budget is
+             still worth serving (rerunning would just burn the same
+             wall clock again) *)
+          match Hashtbl.find_opt cache (timeout_key cfg digest) with
+          | Some ({ c_status = `Timeout _; _ } as c) -> Some c
+          | _ -> None)
   in
   match hit with
   | Some c ->
       {
         e_file = file;
         e_digest = digest;
-        e_status = `Ok;
+        e_status = (c.c_status :> status);
         e_races = c.c_races;
         e_elapsed = 0.0;
         e_cached = true;
         e_report = c.c_report;
         e_counters =
-          List.mapi (fun i k -> (k, c.c_counters.(i))) key_counter_names;
+          (match c.c_status with
+          | `Ok ->
+              List.mapi (fun i k -> (k, c.c_counters.(i))) key_counter_names
+          | `Timeout _ -> []);
       }
   | None -> (
       try
@@ -284,9 +308,19 @@ let run cfg files =
               Hashtbl.replace cache
                 (cache_key cfg e.e_digest)
                 {
+                  c_status = `Ok;
                   c_races = e.e_races;
                   c_report = e.e_report;
                   c_counters = Array.of_list (List.map snd e.e_counters);
+                }
+          | `Timeout msg when e.e_digest <> "" ->
+              Hashtbl.replace cache
+                (timeout_key cfg e.e_digest)
+                {
+                  c_status = `Timeout msg;
+                  c_races = 0;
+                  c_report = "";
+                  c_counters = [||];
                 }
           | _ -> ())
         entries;

@@ -47,9 +47,7 @@ let keys ?policy p =
   in
   List.sort_uniq compare (List.map (key_of a) report.Detect.races)
 
-let diff ?policy old_p new_p =
-  let old_keys = keys ?policy old_p in
-  let new_keys = keys ?policy new_p in
+let align old_keys new_keys =
   (* phase 1: exact alignment *)
   let unchanged = List.filter (fun k -> List.mem k old_keys) new_keys in
   let old_rest = List.filter (fun k -> not (List.mem k new_keys)) old_keys in
@@ -73,6 +71,8 @@ let diff ?policy old_p new_p =
     unchanged;
     moved = List.rev !moved;
   }
+
+let diff ?policy old_p new_p = align (keys ?policy old_p) (keys ?policy new_p)
 
 let pp_key ppf k =
   Format.fprintf ppf "%s: %s@%d vs %s@%d" k.k_field k.k_kind_a k.k_line_a

@@ -5,6 +5,8 @@ type warning = {
   w_kind : [ `Race | `Unprotected_write ];
   w_site_a : Types.pos;
   w_site_b : Types.pos;
+  w_sid_a : int;
+  w_sid_b : int;
 }
 
 type report = { warnings : warning list }
@@ -167,7 +169,14 @@ let analyze p =
     if not (Hashtbl.mem seen k) then begin
       Hashtbl.add seen k ();
       warnings :=
-        { w_field = f; w_kind = kind; w_site_a = a.a_pos; w_site_b = b.a_pos }
+        {
+          w_field = f;
+          w_kind = kind;
+          w_site_a = a.a_pos;
+          w_site_b = b.a_pos;
+          w_sid_a = a.a_sid;
+          w_sid_b = b.a_sid;
+        }
         :: !warnings
     end
   in

@@ -28,6 +28,8 @@ type warning = {
   w_kind : [ `Race | `Unprotected_write ];
   w_site_a : Types.pos;
   w_site_b : Types.pos;
+  w_sid_a : int;  (** statement id of the first recorded access *)
+  w_sid_b : int;  (** statement id of the second (unordered pair) *)
 }
 
 type report = { warnings : warning list }

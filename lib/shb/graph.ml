@@ -602,28 +602,122 @@ let hb_closure_entries g =
         acc per_state)
     0 g.hb_closure
 
-let build_graph ~serial_events ~lock_region ~oracle a =
+(* Self-parallelism under the merged (non-origin) policies. An abstract
+   spawn stands for every runtime execution of its start/post site that
+   the context abstraction folds together; whenever that count can exceed
+   one, the single abstract origin covers concurrent runtime instances
+   and must race with itself. The syntactic seeds (start inside a loop,
+   thread object allocated in a loop) miss the interprocedural case: a
+   spawn-wrapper method called from two sites collapses to ONE instance
+   under 0-ctx, so its start statement executes twice per run while the
+   analysis sees one origin — a dynamically witnessed race with no static
+   report. So we compute, over the solved instance call graph, which
+   (method, context) instances may execute more than once: two distinct
+   incoming call edges, an incoming edge from a loop, a multi-executing
+   caller, or being the entry of an already self-parallel origin — and a
+   spawn whose start site lives in a multi-executing instance is
+   self-parallel. The entry-instance rule also subsumes the old
+   transitive parent→child propagation over spawn edges. *)
+let multi_exec_self_par (a : Solver.result) =
+  let p = a.Solver.program and fl = a.Solver.flat in
+  let icg = a.Solver.icg in
   let sps = a.Solver.spawns in
-  let p = a.Solver.program in
-  let self_par =
+  let n = max 1 icg.Solver.ic_n in
+  let multi = Array.make n false in
+  let preds = Array.make n [] in
+  Hashtbl.iter
+    (fun key callees ->
+      let caller = key / icg.Solver.ic_nsids
+      and sid = key mod icg.Solver.ic_nsids in
+      Array.iter
+        (fun callee ->
+          if callee >= 0 && callee < n then
+            preds.(callee) <- (caller, sid) :: preds.(callee))
+        callees)
+    icg.Solver.ic_callees;
+  Array.iteri
+    (fun callee ps -> preds.(callee) <- List.sort_uniq compare ps)
+    preds;
+  Array.iteri
+    (fun callee ps ->
+      match ps with
+      | _ :: _ :: _ -> multi.(callee) <- true
+      | ps ->
+          if List.exists (fun (_, sid) -> Program.stmt_in_loop p sid) ps then
+            multi.(callee) <- true)
+    preds;
+  let insts_by_mid = Hashtbl.create 64 in
+  Array.iteri
+    (fun iid mid -> Hashtbl.add insts_by_mid mid iid)
+    icg.Solver.ic_mid;
+  let site_insts sid =
+    let _, m = Program.stmt p sid in
+    Hashtbl.find_all insts_by_mid (Flat.mid_of_meth fl m)
+  in
+  let sp_par =
     Array.map
       (fun (sp : Solver.spawn) ->
-        match a.Solver.policy with
-        | Context.Korigin _ ->
-            (* §3.2: an origin allocated in a loop is doubled, so races
-               between run-time instances surface as races between the two
-               copies; treating each copy as self-parallel would instead
-               flag every origin-local object. (Re-starting one thread
-               object is an error in Java, so a started origin never runs
-               concurrently with itself.) *)
-            false
-        | _ ->
-            sp.Solver.sp_in_loop
-            || (sp.Solver.sp_obj >= 0
-               &&
-               let o = Pag.obj (a.Solver.pag) sp.Solver.sp_obj in
-               Program.stmt_in_loop p o.Pag.ob_site))
+        sp.Solver.sp_in_loop
+        || (sp.Solver.sp_obj >= 0
+           &&
+           let o = Pag.obj (a.Solver.pag) sp.Solver.sp_obj in
+           Program.stmt_in_loop p o.Pag.ob_site))
       sps
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun callee ps ->
+        if
+          (not multi.(callee))
+          && List.exists (fun (c, _) -> multi.(c)) ps
+        then begin
+          multi.(callee) <- true;
+          changed := true
+        end)
+      preds;
+    Array.iteri
+      (fun i (_sp : Solver.spawn) ->
+        if sp_par.(i) then begin
+          let e = icg.Solver.ic_entry.(i) in
+          if e >= 0 && e < n && not multi.(e) then begin
+            multi.(e) <- true;
+            changed := true
+          end
+        end)
+      sps;
+    Array.iteri
+      (fun i (sp : Solver.spawn) ->
+        if
+          (not sp_par.(i))
+          && sp.Solver.sp_site >= 0
+          && List.exists
+               (fun iid -> multi.(iid))
+               (site_insts sp.Solver.sp_site)
+        then begin
+          sp_par.(i) <- true;
+          changed := true
+        end)
+      sps
+  done;
+  sp_par
+
+let build_graph ~serial_events ~lock_region ~oracle a =
+  let sps = a.Solver.spawns in
+  let self_par =
+    match a.Solver.policy with
+    | Context.Korigin _ ->
+        (* §3.2: an origin allocated in a loop is doubled, so races
+           between run-time instances surface as races between the two
+           copies; treating each copy as self-parallel would instead
+           flag every origin-local object. The wrapper replay likewise
+           copies origins per incoming call site, so the merged-policy
+           multiplicity analysis below is not needed here. (Re-starting
+           one thread object is an error in Java, so a started origin
+           never runs concurrently with itself.) *)
+        Array.map (fun _ -> false) sps
+    | _ -> multi_exec_self_par a
   in
   let g =
     {
@@ -662,31 +756,11 @@ let build_graph ~serial_events ~lock_region ~oracle a =
      let stamp = Array.make (max 1 icg.Solver.ic_n) (-1) in
      Array.iter (fun sp -> build_origin_flat g icg stamp sp spawn_index) sps
    end);
-  (* transitive self-parallelism (non-origin policies): a child spawned by
-     a self-parallel origin has as many run-time instances as its parent —
-     under the origin policy the parent copies get distinct child origins
-     instead, so no propagation is needed there *)
-  (match a.Solver.policy with
-  | Context.Korigin _ -> ()
-  | _ ->
-      let changed = ref true in
-      while !changed do
-        changed := false;
-        List.iter
-          (fun (parent, child, _) ->
-            if
-              parent >= 0
-              && child >= 0
-              && parent < Array.length g.self_par
-              && child < Array.length g.self_par
-              && g.self_par.(parent)
-              && not g.self_par.(child)
-            then begin
-              g.self_par.(child) <- true;
-              changed := true
-            end)
-          g.spawns_e
-      done);
+  (* transitive self-parallelism (a child spawned by a self-parallel
+     origin has as many run-time instances as its parent) falls out of
+     [multi_exec_self_par]: the parent's entry instance is marked
+     multi-executing and the multiplicity propagates along call edges to
+     every spawn site the parent reaches *)
   let all = Array.of_list (List.rev g.all_nodes) in
   g.nodes_arr <- all;
   (* §4.3 semaphore HB rule: for every abstract semaphore with exactly one

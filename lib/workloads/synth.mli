@@ -1,4 +1,5 @@
-(** Parameterised synthetic workload generators for the evaluation tables.
+(** Parameterised synthetic workload generators for the evaluation tables
+    and the differential fuzzer.
 
     We cannot ship Tomcat or the Linux kernel; what Tables 5–9 measure is
     how each context abstraction scales and filters on particular code
@@ -22,13 +23,22 @@
       thread–event or thread–thread combination);
     - {b correctly locked shared state} ([shared_locked]): never racy;
     - {b wrapper-created threads} and {b nested spawns} for the §3.2
-      extensions. *)
+      extensions;
+    - {b event chains} ([chain]): handlers that re-post the next handler
+      cyclically — origins spawned from event origins;
+    - {b post storms} ([storm]): each event instance posted that many
+      times;
+    - {b nested out-of-order locks} ([lock_depth] > 1): the locked region
+      nests the locks in a per-participant rotated/reversed order;
+    - {b adversarial degenerates}: self-posting handlers ([self_post]),
+      empty entry bodies and method-less classes ([empty]), an
+      unreachable helper method ([unreachable]). *)
 
 type spec = {
   s_name : string;
-  s_thread_classes : int;  (** distinct thread classes *)
+  s_thread_classes : int;  (** distinct thread classes (≥0) *)
   s_instances : int;  (** instances per thread class (≥1) *)
-  s_event_classes : int;  (** handler classes, one post each + one repost *)
+  s_event_classes : int;  (** handler classes, [storm] posts each *)
   s_helper_depth : int;
   s_helper_fanout : int;
   s_helper_alloc_sites : int;
@@ -46,11 +56,39 @@ type spec = {
   s_cyclic : int;
       (** copy-cycle rings in main (8 cyclic assignments each) — stresses
           the solver's SCC collapse of variable cycles *)
+  s_chain : int;
+      (** cyclically-wired chain of handlers, each [handle] re-posting the
+          next — deep event chains, origins spawned from event origins *)
+  s_storm : int;  (** posts per event instance (≥1; the seed shape is 2) *)
+  s_lock_depth : int;
+      (** locks nested around the locked region (≥1; >1 rotates/reverses
+          the acquisition order per participant) *)
+  s_self_post : bool;  (** first handler class re-posts itself *)
+  s_empty : bool;  (** add empty-bodied entries and a method-less class *)
+  s_unreachable : bool;  (** add a helper method no one calls *)
+  s_join : bool;
+      (** main joins the last-started thread and then reads the racy
+          fields — HB edges that must prune those pairs on the joined
+          thread *)
+  s_signal : bool;
+      (** first thread class signals a shared semaphore after a flagged
+          write; main waits on it and reads the flag — signal/wait HB
+          edges *)
+  s_arrays : int;  (** shared array fields with unlocked element races *)
+  s_statics : int;  (** racy static fields on a [GlobalBox] class *)
+  s_branch : bool;  (** wrap the racy accesses in an [if_] branch *)
 }
 
 val default : spec
 
-(** [program spec] builds the synthetic program (deterministic). *)
+(** [validate spec] checks every field against its floor and the
+    cross-field constraints; raises [Invalid_argument] naming the
+    offending field. [program] calls it, so an invalid spec can never
+    silently generate an ill-formed program. *)
+val validate : spec -> unit
+
+(** [program spec] builds the synthetic program (deterministic).
+    @raise Invalid_argument when {!validate} rejects [spec]. *)
 val program : spec -> O2_ir.Program.t
 
 (** Named suites mirroring the paper's benchmark sets. Sizes are tuned so
@@ -71,7 +109,9 @@ val capps : spec list
 
 val stress : spec list
 (** Solver-stress shapes outside the paper's sets; ["cyclic"] seeds enough
-    copy-cycle rings that the PTA's SCC collapse fires on a bench row. *)
+    copy-cycle rings that the PTA's SCC collapse fires on a bench row,
+    ["chainstorm"] combines event chains, post storms and nested
+    out-of-order locks. *)
 
 val find : string -> spec
 
@@ -79,3 +119,18 @@ val find : string -> spec
     [n] (helper-chain depth scaled), for the Table 3 empirical complexity
     curves. *)
 val scaling : n:int -> O2_ir.Program.t
+
+(** {2 Fuzzing} *)
+
+(** The shape-space generator behind [o2 fuzz]: every knob above is
+    sampled, with rare heavy tails (hundred-handler post storms,
+    origin counts in the thousands) and the adversarial degenerate
+    flags. Generated specs always satisfy {!validate}. *)
+val gen : spec QCheck2.Gen.t
+
+(** [spec_of_seed ~seed ~index] draws deterministically: the same
+    [(seed, index)] pair yields the same spec on every run and machine
+    (the fuzzer's reproducibility contract). *)
+val spec_of_seed : seed:int -> index:int -> spec
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -218,7 +218,7 @@ let test_cache_rerun () =
   check_bool "corrupt cache ignored" true
     (List.for_all (fun e -> not e.O2_batch.e_cached) r5.O2_batch.b_entries)
 
-(* an old-format cache file (v1 magic, assoc-list counter payloads) must be
+(* an old-format cache file (v2 magic, statusless payloads) must be
    invalidated wholesale: no Marshal decode crash, everything re-analyzed,
    and the rerun then hits under the current version *)
 let test_cache_version_bump () =
@@ -226,21 +226,23 @@ let test_cache_version_bump () =
   ignore (write_file dir "clean.cir" clean_src);
   ignore (write_file dir "racy.cir" racy_src);
   let cache = Filename.concat dir "results.cache" in
-  (* forge a v1 file: same outer (magic, table) tuple, older payload shape *)
-  let v1_tbl : (string, int * string * (string * int) list) Hashtbl.t =
+  (* forge a v2 file: same outer (magic, table) tuple, older payload shape
+     (no status field); the magic compare rejects it before any payload
+     field is inspected, so the shape mismatch never matters *)
+  let v2_tbl : (string, int * string * int array) Hashtbl.t =
     Hashtbl.create 4
   in
-  Hashtbl.add v1_tbl "deadbeef|origin1|true|true|auto|text"
-    (7, "stale report", [ ("pta.pointers", 3); ("o2.races", 7) ]);
+  Hashtbl.add v2_tbl "deadbeef|origin1|true|true|auto|text"
+    (7, "stale report", [| 3; 7 |]);
   let oc = open_out_bin cache in
-  Marshal.to_channel oc ("o2-batch-cache/v1", v1_tbl) [];
+  Marshal.to_channel oc ("o2-batch-cache/v2", v2_tbl) [];
   close_out oc;
   let cfg = { O2_batch.default with O2_batch.cache_file = Some cache } in
   let files =
     match O2_batch.enumerate [ dir ] with Ok f -> f | Error e -> Alcotest.fail e
   in
   let r1 = O2_batch.run cfg files in
-  check_bool "v1 cache invalidated, all recomputed" true
+  check_bool "v2 cache invalidated, all recomputed" true
     (List.for_all (fun e -> not e.O2_batch.e_cached) r1.O2_batch.b_entries);
   check_bool "no stale results leaked" true
     (List.for_all
@@ -249,6 +251,51 @@ let test_cache_version_bump () =
   let r2 = O2_batch.run cfg files in
   check_bool "rewritten cache hits under current version" true
     (List.for_all (fun e -> e.O2_batch.e_cached) r2.O2_batch.b_entries)
+
+(* a `Wall/`Steps timeout is budget-relative: rerunning under the same
+   budget serves the cached timeout (no point burning the wall clock
+   again), but raising the budget must re-analyze — the seed bug was a
+   cached timeout being replayed as if terminal regardless of budget *)
+let test_cache_timeout_budget () =
+  let dir = fresh_dir () in
+  ignore (write_file dir "heavy.cir" heavy_src);
+  let cache = Filename.concat dir "results.cache" in
+  let files = [ Filename.concat dir "heavy.cir" ] in
+  let tight =
+    {
+      O2_batch.default with
+      O2_batch.cache_file = Some cache;
+      max_steps = Some 200;
+    }
+  in
+  let r1 = O2_batch.run tight files in
+  let e1 = find_entry r1 "heavy.cir" in
+  (match e1.O2_batch.e_status with
+  | `Timeout _ -> ()
+  | _ -> Alcotest.fail "tight budget should time out");
+  check_bool "first timeout is a live run" false e1.O2_batch.e_cached;
+  (* same budget: the timeout itself is served from the cache *)
+  let r2 = O2_batch.run tight files in
+  let e2 = find_entry r2 "heavy.cir" in
+  (match e2.O2_batch.e_status with
+  | `Timeout _ -> ()
+  | _ -> Alcotest.fail "same budget should replay the cached timeout");
+  check_bool "same-budget rerun hits" true e2.O2_batch.e_cached;
+  (* larger budget: the stale timeout must NOT be served as terminal *)
+  let roomy = { tight with O2_batch.max_steps = None } in
+  let r3 = O2_batch.run roomy files in
+  let e3 = find_entry r3 "heavy.cir" in
+  check_bool "larger budget re-analyzes" false e3.O2_batch.e_cached;
+  check_bool "and completes" true (e3.O2_batch.e_status = `Ok);
+  (* the terminal result now hits, even under the tight budget's key
+     space (a terminal result is budget-independent) *)
+  let r4 = O2_batch.run roomy files in
+  check_bool "terminal result cached" true
+    (find_entry r4 "heavy.cir").O2_batch.e_cached;
+  let r5 = O2_batch.run tight files in
+  let e5 = find_entry r5 "heavy.cir" in
+  check_bool "tight rerun prefers the terminal result" true
+    (e5.O2_batch.e_cached && e5.O2_batch.e_status = `Ok)
 
 (* ---------------- jobs>1 determinism ---------------- *)
 
@@ -332,6 +379,8 @@ let () =
           Alcotest.test_case "rerun hits" `Quick test_cache_rerun;
           Alcotest.test_case "version bump invalidates" `Quick
             test_cache_version_bump;
+          Alcotest.test_case "timeouts keyed by budget" `Quick
+            test_cache_timeout_budget;
         ] );
       ( "determinism",
         [ Alcotest.test_case "jobs>1 aggregate" `Quick test_jobs_determinism ] );

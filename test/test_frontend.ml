@@ -210,6 +210,22 @@ let test_parse_models_and_figures () =
         (List.length (O2_ir.Wellformed.check p)))
     programs
 
+(* render → parse → render must be byte-identical across the full fuzz
+   shape space (chains, storms, nested sync, degenerate empty bodies) —
+   the printer/parser contract the differential harness's stage 1 rests
+   on. The test_ir round trip covers the older helper generator; this one
+   covers Synth.gen. *)
+let prop_synth_roundtrip =
+  QCheck2.Test.make ~name:"synth render→parse→render byte-identical"
+    ~count:120
+    ~print:(fun s -> Format.asprintf "%a" O2_workloads.Synth.pp_spec s)
+    O2_workloads.Synth.gen
+    (fun spec ->
+      let p = O2_workloads.Synth.program spec in
+      let src = O2_ir.Pp.program_to_string p in
+      let p2 = parse src in
+      String.equal src (O2_ir.Pp.program_to_string p2))
+
 let () =
   Alcotest.run "frontend"
     [
@@ -236,5 +252,6 @@ let () =
           Alcotest.test_case "parse_file" `Quick test_parse_file;
           Alcotest.test_case "models+figures parse" `Quick
             test_parse_models_and_figures;
+          QCheck_alcotest.to_alcotest prop_synth_roundtrip;
         ] );
     ]
